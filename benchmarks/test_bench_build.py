@@ -1,0 +1,43 @@
+"""Benchmarks: search-structure construction (the Table 3 workload)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import generate_ruleset
+from repro.algorithms import build_hicuts, build_hypercuts
+
+
+@pytest.fixture(scope="module")
+def acl():
+    return generate_ruleset("acl1", 1000, seed=7)
+
+
+@pytest.fixture(scope="module")
+def fw():
+    return generate_ruleset("fw1", 1000, seed=7)
+
+
+def test_build_hicuts_software(benchmark, acl):
+    benchmark(lambda: build_hicuts(acl, binth=16, spfac=4))
+
+
+def test_build_hicuts_hw(benchmark, acl):
+    benchmark(lambda: build_hicuts(acl, binth=30, spfac=4, hw_mode=True))
+
+
+def test_build_hypercuts_software(benchmark, acl):
+    benchmark(lambda: build_hypercuts(acl, binth=16, spfac=4))
+
+
+def test_build_hypercuts_hw(benchmark, acl):
+    benchmark(lambda: build_hypercuts(acl, binth=30, spfac=4, hw_mode=True))
+
+
+def test_build_hicuts_hw_firewall(benchmark, fw):
+    """Wildcard-heavy sets stress replication and merging."""
+    benchmark(lambda: build_hicuts(fw, binth=30, spfac=4, hw_mode=True))
+
+
+def test_generate_ruleset(benchmark):
+    benchmark(lambda: generate_ruleset("acl1", 1000, seed=11))

@@ -1,0 +1,45 @@
+"""Benchmarks: classification throughput (the Table 7 workload)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import generate_trace
+from repro.algorithms import LinearSearchClassifier
+from repro.algorithms.rfc import build_rfc
+from repro.hw import AcceleratorFSM, build_memory_image
+
+
+def test_accelerator_run_trace(benchmark, acl1k_accelerator, acl1k_trace):
+    """Vectorised accelerator model over a 20k-packet trace."""
+    run = benchmark(lambda: acl1k_accelerator.run_trace(acl1k_trace))
+    assert run.n_packets == acl1k_trace.n_packets
+
+
+def test_batch_lookup_software_tree(benchmark, acl1k_hw_tree, acl1k_trace):
+    benchmark(lambda: acl1k_hw_tree.batch_lookup(acl1k_trace))
+
+
+def test_fsm_cycle_accurate(benchmark, acl1k_image, acl1k_trace):
+    """Cycle-accurate FSM (small slice; it is the validation path)."""
+    sub = acl1k_trace.subset(500)
+    benchmark(lambda: AcceleratorFSM(acl1k_image).run(sub))
+
+
+def test_linear_search_oracle(benchmark, acl1k, acl1k_trace):
+    sub = acl1k_trace.subset(2000)
+    lin = LinearSearchClassifier(acl1k)
+    benchmark(lambda: lin.classify_trace(sub))
+
+
+def test_rfc_batch(benchmark, acl1k, acl1k_trace):
+    rfc = build_rfc(acl1k)
+    benchmark(lambda: rfc.classify_trace(acl1k_trace))
+
+
+def test_memory_image_build(benchmark, acl1k_hw_tree):
+    benchmark(lambda: build_memory_image(acl1k_hw_tree, speed=1))
+
+
+def test_trace_generation(benchmark, acl1k):
+    benchmark(lambda: generate_trace(acl1k, 20_000, seed=9))

@@ -1,0 +1,68 @@
+"""Benchmarks: memory-word encode/decode and the FSM datapath kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rules import Rule
+from repro.hw.encoding import (
+    ChildEntry,
+    decode_internal_node,
+    decode_rule,
+    encode_internal_node,
+    encode_rule,
+    pack_leaf_word,
+    unpack_leaf_word,
+)
+
+
+@pytest.fixture(scope="module")
+def rule():
+    return Rule.from_5tuple(
+        (0xC0A80000, 16), (0x0A000001, 32), (1024, 65535), (80, 80), (6, 1)
+    )
+
+
+@pytest.fixture(scope="module")
+def node_word():
+    entries = [ChildEntry(is_leaf=(i % 3 == 0), addr=i % 1024, pos=i % 30)
+               for i in range(256)]
+    return encode_internal_node(
+        [0xF8, 0xC0, 0, 0x80, 0xFF], [3, -2, 0, 7, 0], entries
+    )
+
+
+@pytest.fixture(scope="module")
+def leaf_word(rule):
+    slots = [encode_rule(rule, i, i == 29) for i in range(30)]
+    return pack_leaf_word(slots)
+
+
+def test_encode_rule(benchmark, rule):
+    benchmark(lambda: encode_rule(rule, 7, False))
+
+
+def test_decode_rule(benchmark, rule):
+    slot = encode_rule(rule, 7, False)
+    benchmark(lambda: decode_rule(slot))
+
+
+def test_encode_internal_node(benchmark):
+    entries = [ChildEntry(False, i, 0) for i in range(256)]
+    benchmark(
+        lambda: encode_internal_node([0xFF, 0, 0, 0, 0], [0, 0, 0, 0, 0], entries)
+    )
+
+
+def test_decode_internal_node(benchmark, node_word):
+    benchmark(lambda: decode_internal_node(node_word))
+
+
+def test_child_index_datapath(benchmark, node_word):
+    dec = decode_internal_node(node_word)
+    msb8 = (0xAB, 0x12, 0x55, 0x80, 0x06)
+    benchmark(lambda: dec.child_index(msb8))
+
+
+def test_pack_unpack_leaf(benchmark, leaf_word):
+    benchmark(lambda: unpack_leaf_word(leaf_word))

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Line-card dimensioning for a firewall ruleset (the paper's fw1 story).
+
+Firewall filter sets wildcard source fields aggressively, which replicates
+rules across decision-tree children and blows up the search structure —
+the effect behind the paper's Table 4 fw1 rows.  This example sizes the
+accelerator for growing fw1 rulesets and reports:
+
+* whether the structure still fits the 1024-word / 614,400-byte FPGA
+  configuration (the paper: fw1 beyond ~10k rules needs spfac reductions);
+* the worst-case cycles (the guaranteed-bandwidth bound, Section 5.2);
+* the spfac fallback the paper recommends when memory runs out.
+
+Run:  python examples/firewall_linecard.py
+"""
+
+from repro import generate_ruleset, generate_trace, build_hicuts
+from repro.energy import OC192, OC768
+from repro.hw import DEFAULT_CAPACITY_WORDS, Accelerator, build_memory_image, measure_layout
+
+
+def size_accelerator(family: str, n_rules: int, spfac: int) -> dict:
+    rules = generate_ruleset(family, n_rules, seed=3)
+    tree = build_hicuts(rules, binth=30, spfac=spfac, hw_mode=True)
+    meas = measure_layout(tree, speed=1)
+    row = {
+        "rules": n_rules,
+        "spfac": spfac,
+        "bytes": meas.bytes_used,
+        "fits": meas.fits(DEFAULT_CAPACITY_WORDS),
+        "worst_cycles": meas.worst_case_cycles,
+    }
+    if row["fits"]:
+        image = build_memory_image(tree, speed=1)
+        trace = generate_trace(rules, 50_000, seed=4)
+        run = Accelerator(image).run_trace(trace)
+        row["fpga_mpps"] = 77e6 / run.mean_occupancy() / 1e6
+        row["asic_mpps"] = 226e6 / run.mean_occupancy() / 1e6
+    return row
+
+
+def main() -> None:
+    print(f"{'rules':>7s} {'spfac':>5s} {'memory':>12s} {'fits 1024w':>10s} "
+          f"{'wc cyc':>6s} {'FPGA Mpps':>9s} {'ASIC Mpps':>9s}")
+    for n in (300, 1200, 2500, 5000, 10000):
+        row = size_accelerator("fw1", n, spfac=4)
+        if not row["fits"]:
+            # The paper's remedy: trade throughput for memory via spfac.
+            for spfac in (2, 1):
+                fallback = size_accelerator("fw1", n, spfac=spfac)
+                if fallback["fits"]:
+                    row = fallback
+                    break
+        fpga = f"{row.get('fpga_mpps', float('nan')):9.1f}"
+        asic = f"{row.get('asic_mpps', float('nan')):9.1f}"
+        print(f"{row['rules']:>7d} {row['spfac']:>5d} {row['bytes']:>12,d} "
+              f"{str(row['fits']):>10s} {row['worst_cycles']:>6d} {fpga} {asic}")
+
+    print()
+    print(f"line-rate targets: OC-192 = {OC192.worst_case_pps/1e6:.2f} Mpps, "
+          f"OC-768 = {OC768.worst_case_pps/1e6:.0f} Mpps (40-byte packets)")
+    print("fw1 sets that exceed the 1024-word memory fall back to lower "
+          "spfac, trading cycles for fit — exactly the dial Section 3 "
+          "describes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Figure 5 walkthrough: watch the accelerator FSM classify packets.
+
+Prints the cycle-by-cycle execution of the cycle-accurate simulator on a
+tiny workload, annotated with the architecture of Figure 4:
+
+* cycle 1 loads the root node word into Reg A;
+* LATCH: Start sampled, a packet enters Reg B, its root child index is
+  computed combinationally from Reg A's masks/shifts;
+* TRAVERSE: one internal-node word fetched per cycle;
+* COMPARE: a leaf word is fetched, Reg B moves to Reg C, the 30 parallel
+  comparators check the stored rules while the *next* packet latches —
+  the overlap that gives one-packet-per-cycle throughput when the worst
+  case is two cycles.
+
+Run:  python examples/fsm_walkthrough.py
+"""
+
+from repro import generate_ruleset, generate_trace, build_hicuts
+from repro.hw import AcceleratorFSM, build_memory_image
+
+
+def main() -> None:
+    rules = generate_ruleset("acl1", 200, seed=5)
+    tree = build_hicuts(rules, binth=30, spfac=4, hw_mode=True)
+    image = build_memory_image(tree, speed=1)
+    trace = generate_trace(rules, 6, seed=6)
+
+    print(f"ruleset: {len(rules)} rules -> {image.words_used} memory words "
+          f"({image.n_internal_words} internal + {image.n_leaf_words} leaf)")
+    print(f"worst-case cycles: {image.worst_case_cycles()}\n")
+
+    fsm = AcceleratorFSM(image, record_trace=True)
+    records = fsm.run(trace)
+
+    for event in fsm.events:
+        print(f"cycle {event.cycle:>4d}  {event.state:<10s} {event.detail}")
+
+    print("\nper-packet summary:")
+    print(f"{'pkt':>4s} {'latched':>8s} {'done':>6s} {'latency':>8s} "
+          f"{'accesses':>9s} {'match':>6s}")
+    for r in records:
+        print(f"{r.index:>4d} {r.latch_cycle:>8d} {r.done_cycle:>6d} "
+              f"{r.done_cycle - r.latch_cycle:>8d} {r.accesses:>9d} "
+              f"{r.match:>6d}")
+
+    total = fsm.cycle
+    occ = sum(r.occupancy for r in records)
+    print(f"\ntotal cycles: {total} = 1 (root load) + 1 (first dispatch) "
+          f"+ {occ} (sum of per-packet occupancy)")
+
+
+if __name__ == "__main__":
+    main()

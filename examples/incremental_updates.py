@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Incremental rule updates (the HiCuts/HyperCuts capability the paper
+keeps highlighting versus RFC).
+
+Section 2 stresses that HiCuts/HyperCuts "allow incremental updates", and
+Section 4 describes the deployment model: a control-plane copy of the
+search structure is updated and re-synchronised to the accelerator's
+memory through the shared write interface.
+
+This example models that flow: a live acl1 classifier receives a batch of
+new rules and a batch of deletions; the structure is rebuilt on the
+control plane, re-laid-out, and the update cost is reported as build
+energy + memory write transactions — versus RFC, which must rebuild a
+cross-product table hierarchy that is orders of magnitude more expensive.
+
+Run:  python examples/incremental_updates.py
+"""
+
+import numpy as np
+
+from repro import generate_ruleset, generate_trace, build_hypercuts
+from repro.algorithms import LinearSearchClassifier, OpCounter
+from repro.algorithms.rfc import build_rfc
+from repro.core.rules import Rule
+from repro.energy import Sa1100Model
+from repro.hw import Accelerator, build_memory_image
+
+
+def main() -> None:
+    sa = Sa1100Model()
+    rules = generate_ruleset("acl1", 1500, seed=11)
+    extra = generate_ruleset("acl1", 40, seed=99)
+
+    # Baseline structure.
+    ops0 = OpCounter()
+    tree = build_hypercuts(rules, binth=30, spfac=4, hw_mode=True, ops=ops0)
+    image = build_memory_image(tree, speed=1)
+    print(f"initial build: {len(rules)} rules, {image.words_used} words, "
+          f"{sa.build_energy_j(ops0):.3E} J")
+
+    # --- apply an update batch: 40 inserts + 25 deletes ----------------
+    for rule in extra:
+        rules.append(Rule(ranges=rule.ranges, priority=0, action=rule.action))
+    for _ in range(25):
+        rules.remove(len(rules) // 2)
+    print(f"after update batch: {len(rules)} rules")
+
+    ops1 = OpCounter()
+    tree2 = build_hypercuts(rules, binth=30, spfac=4, hw_mode=True, ops=ops1)
+    image2 = build_memory_image(tree2, speed=1)
+    print(
+        f"control-plane rebuild: {sa.build_energy_j(ops1):.3E} J, "
+        f"{image2.memory.writes} word writes to re-sync the accelerator"
+    )
+
+    # The refreshed structure still matches first-match semantics.
+    trace = generate_trace(rules, 20_000, seed=12)
+    run = Accelerator(image2).run_trace(trace)
+    oracle = LinearSearchClassifier(rules).classify_trace(trace)
+    assert np.array_equal(run.match, oracle)
+    print("post-update classification verified against the oracle")
+
+    # --- RFC cannot update incrementally: full table reconstruction ----
+    rfc_ops = OpCounter()
+    rfc = build_rfc(rules, ops=rfc_ops)
+    print(
+        f"\nRFC rebuild for the same update: {sa.build_energy_j(rfc_ops):.3E} J "
+        f"and {rfc.memory_bytes():,} bytes of tables "
+        f"(vs {image2.bytes_used:,} bytes for the tree) — the update-cost "
+        f"asymmetry behind the paper's focus on HiCuts/HyperCuts"
+    )
+
+
+if __name__ == "__main__":
+    main()

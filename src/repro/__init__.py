@@ -1,0 +1,68 @@
+"""repro — reproduction of "Energy Efficient Packet Classification
+Hardware Accelerator" (Kennedy, Wang & Liu, IPDPS 2008).
+
+Public API quick tour::
+
+    from repro import (
+        RuleSet, PacketTrace, generate_ruleset, generate_trace,
+        build_hicuts, build_hypercuts,
+    )
+    from repro.hw import build_memory_image, Accelerator
+    from repro.energy import Sa1100Model, AsicModel, FpgaModel
+
+    rules = generate_ruleset("acl1", 1000, seed=1)
+    trace = generate_trace(rules, 100_000, seed=2)
+    tree = build_hypercuts(rules, binth=30, spfac=4, hw_mode=True)
+    image = build_memory_image(tree, speed=1)
+    result = Accelerator(image).run_trace(trace)
+    print(result.throughput_pps(226e6))
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from .core import (
+    DEMO_SCHEMA,
+    FIVE_TUPLE,
+    FieldSchema,
+    Packet,
+    PacketTrace,
+    ReproError,
+    Rule,
+    RuleSet,
+    make_demo_ruleset,
+)
+from .classbench import generate_ruleset, generate_trace
+from .algorithms import (
+    DecisionTree,
+    LinearSearchClassifier,
+    OpCounter,
+    RFCClassifier,
+    TupleSpaceClassifier,
+    build_hicuts,
+    build_hypercuts,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEMO_SCHEMA",
+    "FIVE_TUPLE",
+    "FieldSchema",
+    "Packet",
+    "PacketTrace",
+    "ReproError",
+    "Rule",
+    "RuleSet",
+    "make_demo_ruleset",
+    "generate_ruleset",
+    "generate_trace",
+    "DecisionTree",
+    "LinearSearchClassifier",
+    "OpCounter",
+    "RFCClassifier",
+    "TupleSpaceClassifier",
+    "build_hicuts",
+    "build_hypercuts",
+    "__version__",
+]

@@ -1,0 +1,55 @@
+"""Classification algorithms: the paper's decision trees plus baselines.
+
+* :func:`build_hicuts` / :func:`build_hypercuts` — original software
+  algorithms (Section 2) and, with ``hw_mode=True``, the paper's modified
+  hardware-oriented variants (Section 3).
+* :class:`LinearSearchClassifier` — the first-match oracle.
+* :class:`RFCClassifier` — the fastest software baseline the paper
+  compares against (546x claim).
+* :class:`TupleSpaceClassifier` — extension baseline ([8]).
+"""
+
+from .base import (
+    EMPTY_CHILD,
+    INTERNAL,
+    LEAF,
+    BatchLookup,
+    DecisionTree,
+    LookupResult,
+    Node,
+    TreeStats,
+)
+from .hicuts import HiCutsBuilder, HiCutsConfig, build_hicuts
+from .incremental import IncrementalClassifier, UpdateStats
+from .hypercuts import HyperCutsBuilder, HyperCutsConfig, build_hypercuts
+from .linear import LinearSearchClassifier
+from .opcount import CATEGORIES, NULL_COUNTER, NullCounter, OpCounter
+from .rfc import RFCClassifier, build_rfc
+from .tuple_space import TupleSpaceClassifier
+
+__all__ = [
+    "EMPTY_CHILD",
+    "INTERNAL",
+    "LEAF",
+    "BatchLookup",
+    "DecisionTree",
+    "LookupResult",
+    "Node",
+    "TreeStats",
+    "HiCutsBuilder",
+    "HiCutsConfig",
+    "build_hicuts",
+    "IncrementalClassifier",
+    "UpdateStats",
+    "HyperCutsBuilder",
+    "HyperCutsConfig",
+    "build_hypercuts",
+    "LinearSearchClassifier",
+    "CATEGORIES",
+    "NULL_COUNTER",
+    "NullCounter",
+    "OpCounter",
+    "RFCClassifier",
+    "build_rfc",
+    "TupleSpaceClassifier",
+]

@@ -1,0 +1,377 @@
+"""Incremental rule updates on built decision trees.
+
+The paper picks HiCuts/HyperCuts over RFC specifically because they
+"allow incremental updates to a ruleset" (Sections 1/2), and Section 4
+sketches the deployment: the control plane keeps a copy of the search
+structure, updates it, and re-syncs the accelerator's memory through the
+shared write interface.  The paper never specifies the update algorithm;
+this module provides the standard one:
+
+* **insert** — descend from the root into every child slot the new
+  rule's footprint overlaps; append the rule to each reached leaf; a
+  leaf that grows beyond ``binth`` has its subtree rebuilt in place with
+  the same builder configuration.  Empty child slots covered by the rule
+  become fresh leaves.
+* **remove** — delete the rule id from every leaf (a tombstone remains
+  in the rule table so existing ids stay stable; ``rebuild()`` compacts).
+
+Merged children make the tree a DAG, so blind mutation of a shared node
+would leak the update into sibling regions that the rule does not cover.
+The updater therefore maintains reference counts and **clones shared
+nodes copy-on-write** before touching them — the soundness property the
+tests check is, as everywhere in this library, exact agreement with a
+first-match linear search over the live rules.
+
+Updates are billed to an :class:`OpCounter` so the control-plane energy
+cost of an update batch can be compared with a full rebuild (see
+``examples/incremental_updates.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import BuildError
+from ..core.geometry import child_index
+from ..core.packet import PacketTrace
+from ..core.rules import Rule
+from ..core.ruleset import RuleSet
+from .base import EMPTY_CHILD, LEAF, DecisionTree, Node
+from .hicuts import HiCutsBuilder, HiCutsConfig
+from .hypercuts import HyperCutsBuilder, HyperCutsConfig
+from .opcount import NULL_COUNTER, OpCounter
+
+
+@dataclass
+class UpdateStats:
+    """What one insert/remove touched."""
+
+    leaves_touched: int = 0
+    nodes_cloned: int = 0
+    subtrees_rebuilt: int = 0
+    new_leaves: int = 0
+
+
+class IncrementalClassifier:
+    """A decision-tree classifier supporting in-place rule updates.
+
+    Parameters mirror the builders; ``algorithm`` selects HiCuts or
+    HyperCuts.  Inserted rules take the lowest priority (appended at the
+    bottom of the ruleset), which is the common ACL-update pattern; a
+    priority-ordered batch can be applied with :meth:`rebuild`.
+    """
+
+    def __init__(
+        self,
+        ruleset: RuleSet,
+        algorithm: str = "hicuts",
+        binth: int = 30,
+        spfac: float = 4.0,
+        hw_mode: bool = True,
+        ops: OpCounter | None = None,
+    ) -> None:
+        self.ops = ops if ops is not None else NULL_COUNTER
+        self.algorithm = algorithm
+        self.binth = binth
+        self.spfac = spfac
+        self.hw_mode = hw_mode
+        # Private ruleset copy: ids must stay stable across updates.
+        self._ruleset = RuleSet(list(ruleset.rules), ruleset.schema, ruleset.name)
+        self._live = np.ones(len(self._ruleset), dtype=bool)
+        self.tree = self._build(self._ruleset)
+        self._refcounts = self._count_refs()
+
+    # ------------------------------------------------------------------
+    def _build(self, ruleset: RuleSet) -> DecisionTree:
+        if self.algorithm == "hicuts":
+            cfg = HiCutsConfig(binth=self.binth, spfac=self.spfac,
+                               hw_mode=self.hw_mode)
+            return HiCutsBuilder(ruleset, cfg, self.ops if isinstance(self.ops, OpCounter) else None).build()
+        if self.algorithm == "hypercuts":
+            cfg = HyperCutsConfig(binth=self.binth, spfac=self.spfac,
+                                  hw_mode=self.hw_mode)
+            return HyperCutsBuilder(ruleset, cfg, self.ops if isinstance(self.ops, OpCounter) else None).build()
+        raise BuildError(f"unknown algorithm {self.algorithm!r}")
+
+    def _count_refs(self) -> dict[int, int]:
+        refs: dict[int, int] = {0: 1}
+        for node in self.tree.nodes:
+            if node.children is None:
+                continue
+            for c in node.children:
+                ci = int(c)
+                if ci != EMPTY_CHILD:
+                    refs[ci] = refs.get(ci, 0) + 1
+        return refs
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_live_rules(self) -> int:
+        return int(self._live.sum())
+
+    def live_ruleset(self) -> RuleSet:
+        """The semantically live rules, in priority order (the oracle's
+        view; ids are compacted)."""
+        rules = [
+            r for i, r in enumerate(self._ruleset.rules) if self._live[i]
+        ]
+        return RuleSet(rules, self._ruleset.schema, f"{self._ruleset.name}+upd")
+
+    def classify(self, header) -> int:
+        """First-match over live rules (stable-id result)."""
+        return self.tree.lookup(header).rule_id
+
+    def classify_trace(self, trace: PacketTrace) -> np.ndarray:
+        return self.tree.batch_lookup(trace).match
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, rule: Rule) -> UpdateStats:
+        """Insert a rule at the lowest priority; returns touch stats."""
+        rule.validate(self._ruleset.schema)
+        self._ruleset.append(rule)
+        self._live = np.append(self._live, True)
+        rid = len(self._ruleset) - 1
+        self.tree._arrays = None  # defensive: tree reads ruleset.arrays
+        # Invalidate the cached SoA view so new bounds are visible.
+        self.tree.ruleset._arrays = None
+
+        stats = UpdateStats()
+        root = self.tree.nodes[0]
+        self._insert_into(
+            0, rid, parent=None, slot=None,
+            true_region=root.region, true_grid=root.grid_region, stats=stats,
+        )
+        self.ops.add("mem_write", 1)
+        return stats
+
+    def remove(self, rule_id: int) -> UpdateStats:
+        """Remove a rule by stable id (tombstoned until :meth:`rebuild`)."""
+        if not 0 <= rule_id < len(self._ruleset) or not self._live[rule_id]:
+            raise BuildError(f"rule {rule_id} is not live")
+        self._live[rule_id] = False
+        stats = UpdateStats()
+        for node in self.tree.nodes:
+            if node.is_leaf and node.rule_ids.size:
+                mask = node.rule_ids != rule_id
+                if not mask.all():
+                    node.rule_ids = node.rule_ids[mask]
+                    stats.leaves_touched += 1
+                    self.ops.add("mem_write", 1)
+            elif node.pushed.size:
+                node.pushed = node.pushed[node.pushed != rule_id]
+        return stats
+
+    def rebuild(self) -> None:
+        """Compact tombstones and rebuild the tree from scratch."""
+        self._ruleset = self.live_ruleset()
+        self._live = np.ones(len(self._ruleset), dtype=bool)
+        self.tree = self._build(self._ruleset)
+        self._refcounts = self._count_refs()
+
+    # ------------------------------------------------------------------
+    def _clone_if_shared(
+        self, nid: int, parent: int | None, slot: int | None
+    ) -> tuple[int, bool]:
+        """Copy-on-write: give ``parent``'s ``slot`` a private copy of
+        node ``nid`` when other child slots also point at it."""
+        if parent is None or self._refcounts.get(nid, 1) <= 1:
+            return nid, False
+        node = self.tree.nodes[nid]
+        clone = Node(
+            kind=node.kind,
+            region=node.region,
+            grid_region=node.grid_region,
+            cut_dims=node.cut_dims,
+            cut_counts=node.cut_counts,
+            children=None if node.children is None else node.children.copy(),
+            rule_ids=node.rule_ids.copy(),
+            pushed=node.pushed.copy(),
+            depth=node.depth,
+        )
+        new_id = len(self.tree.nodes)
+        self.tree.nodes.append(clone)
+        parent_node = self.tree.nodes[parent]
+        assert parent_node.children is not None
+        # Re-point only THIS slot; congruent duplicates of the same slot
+        # value that this rule also covers are handled by the caller
+        # visiting each overlapping slot independently.
+        parent_node.children[slot] = new_id
+        self._refcounts[nid] -= 1
+        self._refcounts[new_id] = 1
+        if clone.children is not None:
+            for c in clone.children:
+                ci = int(c)
+                if ci != EMPTY_CHILD:
+                    self._refcounts[ci] = self._refcounts.get(ci, 0) + 1
+        return new_id, True
+
+    def _insert_into(
+        self, nid: int, rid: int, parent: int | None, slot: int | None,
+        true_region, true_grid, stats: UpdateStats,
+    ) -> None:
+        """Insert ``rid`` into the subtree rooted at ``nid``.
+
+        ``true_region`` is the node's actual catchment box along this
+        path.  Congruence-merged nodes store the *representative*
+        sibling's box, which is position-shifted from the true one;
+        lookup is position-independent (relative-bit arithmetic) so that
+        is harmless, but insertion clips the new rule against a concrete
+        box — so before mutating we give the node a private copy (CoW if
+        shared) and *rebase* it onto the true box.  After the rebase all
+        global-footprint math is exact.
+        """
+        node = self.tree.nodes[nid]
+        needs_rebase = node.region != true_region
+        if self._refcounts.get(nid, 1) > 1:
+            nid, cloned = self._clone_if_shared(nid, parent, slot)
+            node = self.tree.nodes[nid]
+            stats.nodes_cloned += 1
+        if needs_rebase:
+            node.region = true_region
+            node.grid_region = true_grid
+        self.ops.add("mem_read", 1)
+
+        if node.is_leaf:
+            # Plain append: redundant rules are only an optimisation
+            # concern, never a correctness one, and eliminating against a
+            # possibly-hulled leaf region is not worth the subtlety here.
+            node.rule_ids = np.append(node.rule_ids, rid)
+            stats.leaves_touched += 1
+            if node.rule_ids.size > self.binth:
+                self._rebuild_subtree(nid, stats)
+            return
+
+        # Internal node: every overlapped child slot receives the rule.
+        rule = self._ruleset.rules[rid]
+        spans: list[range] = []
+        for dim, ncuts in zip(node.cut_dims, node.cut_counts):
+            lo, hi = node.region[dim]
+            rlo, rhi = rule.ranges[dim]
+            clo, chi = max(rlo, lo), min(rhi, hi)
+            if clo > chi:
+                return  # the rule does not reach this node's region
+            spans.append(
+                range(
+                    child_index(clo, lo, hi, ncuts),
+                    child_index(chi, lo, hi, ncuts) + 1,
+                )
+            )
+        strides = node.child_strides()
+        self.ops.add("alu", 4 * len(spans))
+
+        def visit(axis: int, flat: int) -> None:
+            if axis == len(spans):
+                self._insert_slot(nid, flat, rid, stats)
+                return
+            for coord in spans[axis]:
+                visit(axis + 1, flat + coord * strides[axis])
+
+        visit(0, 0)
+
+    def _insert_slot(
+        self, nid: int, flat: int, rid: int, stats: UpdateStats
+    ) -> None:
+        node = self.tree.nodes[nid]
+        assert node.children is not None
+        child = int(node.children[flat])
+        region, grid = self._child_box(node, flat)
+        if child == EMPTY_CHILD:
+            # A fresh leaf materialises in this sub-region.
+            new_id = len(self.tree.nodes)
+            self.tree.nodes.append(
+                Node(
+                    kind=LEAF, region=region, grid_region=grid,
+                    rule_ids=np.array([rid], dtype=np.int64),
+                    depth=node.depth + 1,
+                )
+            )
+            node.children[flat] = new_id
+            self._refcounts[new_id] = 1
+            stats.new_leaves += 1
+            self.ops.add("alloc", 1)
+            return
+        self._insert_into(
+            child, rid, parent=nid, slot=flat,
+            true_region=region, true_grid=grid, stats=stats,
+        )
+
+    def _child_box(self, node: Node, flat: int):
+        """Region of child ``flat`` (mirrors the builder's box math)."""
+        from ..core.geometry import cut_interval, grid_cell_to_range
+
+        region = list(node.region)
+        grid = list(node.grid_region) if node.grid_region else None
+        rem = flat
+        for dim, ncuts, stride in zip(
+            node.cut_dims, node.cut_counts, node.child_strides()
+        ):
+            coord = rem // stride
+            rem %= stride
+            if grid is not None:
+                glo, ghi = node.grid_region[dim]  # type: ignore[index]
+                cell = cut_interval(glo, ghi, ncuts)[coord]
+                grid[dim] = cell
+                region[dim] = grid_cell_to_range(
+                    cell[0], cell[1], self.tree.schema.widths[dim]
+                )
+            else:
+                lo, hi = node.region[dim]
+                region[dim] = cut_interval(lo, hi, ncuts)[coord]
+        return tuple(region), tuple(grid) if grid else None
+
+    def _rebuild_subtree(self, nid: int, stats: UpdateStats) -> None:
+        """Re-run the builder on an oversized leaf's rules and region,
+        splicing the produced nodes into the tree."""
+        node = self.tree.nodes[nid]
+        sub_rules = node.rule_ids
+        sub_ruleset = self.tree.ruleset  # rule ids are global
+        if self.algorithm == "hicuts":
+            cfg = HiCutsConfig(binth=self.binth, spfac=self.spfac,
+                               hw_mode=self.hw_mode)
+            builder = HiCutsBuilder(sub_ruleset, cfg)
+        else:
+            cfg = HyperCutsConfig(binth=self.binth, spfac=self.spfac,
+                                  hw_mode=self.hw_mode)
+            builder = HyperCutsBuilder(sub_ruleset, cfg)
+        # Build with the leaf's region as the root universe.
+        from ._builder import _WorkItem
+
+        builder.nodes = [
+            Node(kind=LEAF, region=node.region, grid_region=node.grid_region,
+                 depth=node.depth)
+        ]
+        stack = [
+            _WorkItem(0, sub_rules, node.region, node.grid_region, node.depth)
+        ]
+        while stack:
+            builder._build_node(stack.pop(), stack)
+
+        # Splice: builder node 0 replaces `nid`; the rest append with
+        # offset ids.
+        offset = len(self.tree.nodes)
+        remap = {0: nid}
+        for i in range(1, len(builder.nodes)):
+            remap[i] = offset + i - 1
+        for i, built in enumerate(builder.nodes):
+            if built.children is not None:
+                built.children = np.array(
+                    [
+                        EMPTY_CHILD if int(c) == EMPTY_CHILD else remap[int(c)]
+                        for c in built.children
+                    ],
+                    dtype=np.int32,
+                )
+            if i == 0:
+                self.tree.nodes[nid] = built
+            else:
+                self.tree.nodes.append(built)
+        # Refresh refcounts for the spliced region.
+        self._refcounts = self._count_refs()
+        stats.subtrees_rebuilt += 1
+        self.ops.add("alloc", len(builder.nodes))

@@ -1,0 +1,156 @@
+"""Tuple Space Search (Srinivasan, Suri & Varghese, SIGCOMM 1999).
+
+The paper cites TSS ([8]) among the software approaches whose throughput
+cannot keep up with line rate; we implement it as an extension baseline so
+the experiment harness can place the accelerator against one more
+classical software scheme.
+
+Our variant follows the pragmatic "pseudo tuple space" used by software
+switches: a rule's tuple is the vector of *specificity kinds* per
+dimension — the IP prefix lengths and, for ports/protocol, the class
+EXACT / RANGE / WILDCARD.  All rules sharing a tuple live in one hash
+table keyed by the masked exact fields; range fields are verified by a
+short list scan inside the bucket.  A lookup probes every tuple (masking
+the header with the tuple's mask and hashing); the best (lowest-id) match
+across probes wins.
+
+Cost model: one hash probe ≈ one memory access per tuple, plus bucket
+verification — this is why TSS throughput degrades with tuple-count, the
+behaviour the experiments display.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import CapacityError
+from ..core.packet import PacketTrace
+from ..core.ruleset import RuleSet
+from .opcount import NULL_COUNTER, OpCounter
+
+KIND_EXACT = 0
+KIND_RANGE = 1
+KIND_WILD = 2
+
+
+def _port_kind(lo: int, hi: int, full_hi: int) -> int:
+    if lo == 0 and hi == full_hi:
+        return KIND_WILD
+    if lo == hi:
+        return KIND_EXACT
+    return KIND_RANGE
+
+
+@dataclass(frozen=True)
+class _TupleKey:
+    src_plen: int
+    dst_plen: int
+    sport_kind: int
+    dport_kind: int
+    proto_kind: int
+
+
+class TupleSpaceClassifier:
+    """Hash-based tuple space search over a 5-tuple ruleset."""
+
+    def __init__(self, ruleset: RuleSet, ops: OpCounter | None = None) -> None:
+        from ..core.rules import FIVE_TUPLE
+
+        if ruleset.schema is not FIVE_TUPLE:
+            raise CapacityError("TSS implementation targets the 5-tuple schema")
+        self.ruleset = ruleset
+        counter = ops if ops is not None else NULL_COUNTER
+        self.tuples: dict[_TupleKey, dict[tuple, list[int]]] = {}
+        arrays = ruleset.arrays
+        for r in range(arrays.n):
+            key = self._tuple_of(r)
+            table = self.tuples.setdefault(key, defaultdict(list))
+            table[self._hash_key(r, key)].append(r)
+            counter.add("mem_write", 2)
+            counter.add("alu", 10)
+        # Freeze to plain dicts for lookup speed.
+        self.tuples = {k: dict(v) for k, v in self.tuples.items()}
+
+    # ------------------------------------------------------------------
+    def _tuple_of(self, r: int) -> _TupleKey:
+        a = self.ruleset.arrays
+        src_span = int(a.hi[0, r]) - int(a.lo[0, r]) + 1
+        dst_span = int(a.hi[1, r]) - int(a.lo[1, r]) + 1
+        return _TupleKey(
+            src_plen=32 - (src_span.bit_length() - 1),
+            dst_plen=32 - (dst_span.bit_length() - 1),
+            sport_kind=_port_kind(int(a.lo[2, r]), int(a.hi[2, r]), 0xFFFF),
+            dport_kind=_port_kind(int(a.lo[3, r]), int(a.hi[3, r]), 0xFFFF),
+            proto_kind=_port_kind(int(a.lo[4, r]), int(a.hi[4, r]), 0xFF),
+        )
+
+    def _hash_key(self, r: int, key: _TupleKey) -> tuple:
+        """Masked exact fields forming the hash key inside a tuple."""
+        a = self.ruleset.arrays
+        return (
+            int(a.lo[0, r]) >> (32 - key.src_plen) if key.src_plen else 0,
+            int(a.lo[1, r]) >> (32 - key.dst_plen) if key.dst_plen else 0,
+            int(a.lo[2, r]) if key.sport_kind == KIND_EXACT else 0,
+            int(a.lo[3, r]) if key.dport_kind == KIND_EXACT else 0,
+            int(a.lo[4, r]) if key.proto_kind == KIND_EXACT else 0,
+        )
+
+    def _probe_key(self, header, key: _TupleKey) -> tuple:
+        return (
+            int(header[0]) >> (32 - key.src_plen) if key.src_plen else 0,
+            int(header[1]) >> (32 - key.dst_plen) if key.dst_plen else 0,
+            int(header[2]) if key.sport_kind == KIND_EXACT else 0,
+            int(header[3]) if key.dport_kind == KIND_EXACT else 0,
+            int(header[4]) if key.proto_kind == KIND_EXACT else 0,
+        )
+
+    # ------------------------------------------------------------------
+    def classify(self, header, ops: OpCounter | None = None) -> int:
+        counter = ops if ops is not None else NULL_COUNTER
+        arrays = self.ruleset.arrays
+        best = -1
+        for key, table in self.tuples.items():
+            counter.add("mem_read", 1)  # hash probe
+            counter.add("alu", 12)  # masking + hashing
+            bucket = table.get(self._probe_key(header, key))
+            if not bucket:
+                continue
+            for r in bucket:
+                counter.add("mem_read", 5)
+                counter.add("alu", 10)
+                if all(
+                    arrays.lo[d, r] <= header[d] <= arrays.hi[d, r]
+                    for d in range(5)
+                ):
+                    if best < 0 or r < best:
+                        best = r
+                    break  # bucket lists are priority ordered
+        return best
+
+    def classify_trace(self, trace: PacketTrace) -> np.ndarray:
+        out = np.full(trace.n_packets, -1, dtype=np.int64)
+        for i, row in enumerate(trace.headers):
+            out[i] = self.classify(row)
+        return out
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tuples(self) -> int:
+        return len(self.tuples)
+
+    def memory_accesses_per_lookup(self) -> int:
+        """Worst case: one probe per tuple + deepest bucket scan."""
+        deepest = max(
+            (len(b) for table in self.tuples.values() for b in table.values()),
+            default=0,
+        )
+        return self.n_tuples + deepest
+
+    def memory_bytes(self) -> int:
+        """Hash-table storage: 8-byte slot per rule at 50 % load plus the
+        stored rules themselves (20 bytes each, as elsewhere)."""
+        n = len(self.ruleset)
+        return 16 * n + 20 * n

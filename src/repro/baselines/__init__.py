@@ -1,0 +1,5 @@
+"""Hardware baselines the paper compares against (TCAM)."""
+
+from .tcam_classifier import TcamClassifier, TcamStats
+
+__all__ = ["TcamClassifier", "TcamStats"]

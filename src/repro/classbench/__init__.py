@@ -1,0 +1,25 @@
+"""ClassBench-style synthetic workloads (rulesets + traces).
+
+The paper's evaluation rests on ClassBench filter sets (acl1/fw1/ipc1) and
+their companion packet traces; this subpackage regenerates statistically
+similar workloads from embedded seed models.  See DESIGN.md §1
+(substitution 2) for why this preserves the evaluation's shape.
+"""
+
+from .generator import generate_ruleset, paper_acl1_sizes, paper_table4_sizes
+from .seeds import ACL1, FAMILIES, FW1, IPC1, SeedModel, get_seed
+from .trace import generate_trace, trace_locality
+
+__all__ = [
+    "generate_ruleset",
+    "paper_acl1_sizes",
+    "paper_table4_sizes",
+    "ACL1",
+    "FAMILIES",
+    "FW1",
+    "IPC1",
+    "SeedModel",
+    "get_seed",
+    "generate_trace",
+    "trace_locality",
+]

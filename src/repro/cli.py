@@ -1,0 +1,171 @@
+"""Command-line interface (`repro-classify` / ``python -m repro.cli``).
+
+Subcommands mirror a hardware bring-up flow:
+
+* ``generate`` — synthesise a ClassBench-style ruleset (and trace);
+* ``build`` — build a search structure and report its size/shape;
+* ``classify`` — run a trace through the accelerator model and print
+  throughput/energy on the paper's devices;
+* ``tables`` — regenerate the paper's tables (wraps run_all);
+* ``fsm`` — print a Figure-5 style cycle trace for a few packets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .algorithms import build_hicuts, build_hypercuts
+from .classbench import generate_ruleset, generate_trace
+from .core.packet import PacketTrace
+from .core.ruleset import RuleSet
+from .energy import Sa1100Model, asic_model, fpga_model
+from .hw import Accelerator, build_memory_image, figure5_trace
+
+
+def _load_or_generate(args) -> RuleSet:
+    if getattr(args, "ruleset_file", None):
+        return RuleSet.load(args.ruleset_file)
+    return generate_ruleset(args.family, args.rules, seed=args.seed)
+
+
+def _build_tree(ruleset: RuleSet, args):
+    build = build_hypercuts if args.algorithm == "hypercuts" else build_hicuts
+    return build(
+        ruleset, binth=args.binth, spfac=args.spfac, hw_mode=not args.software
+    )
+
+
+def cmd_generate(args) -> int:
+    rs = generate_ruleset(args.family, args.rules, seed=args.seed)
+    rs.save(args.output)
+    print(f"wrote {len(rs)} rules to {args.output}")
+    if args.trace:
+        trace = generate_trace(rs, args.packets, seed=args.seed + 1)
+        trace.save(args.trace)
+        print(f"wrote {trace.n_packets} packets to {args.trace}")
+    return 0
+
+
+def cmd_build(args) -> int:
+    rs = _load_or_generate(args)
+    tree = _build_tree(rs, args)
+    st = tree.stats()
+    print(f"ruleset: {rs.name} ({len(rs)} rules)")
+    print(f"algorithm: {args.algorithm} ({'sw' if args.software else 'hw'} mode)")
+    print(f"nodes: {st.n_nodes} ({st.n_internal} internal, {st.n_leaves} leaves)")
+    print(f"depth: {st.max_depth}, max leaf: {st.max_leaf_rules} rules")
+    if not args.software:
+        image = build_memory_image(tree, speed=args.speed)
+        print(
+            f"memory image: {image.words_used} words = {image.bytes_used:,} "
+            f"bytes (speed={args.speed})"
+        )
+        print(f"worst-case cycles: {image.worst_case_cycles()}")
+    else:
+        print(f"software memory model: {tree.software_memory_bytes():,} bytes")
+    return 0
+
+
+def cmd_classify(args) -> int:
+    rs = _load_or_generate(args)
+    tree = _build_tree(rs, args)
+    if args.trace_file:
+        trace = PacketTrace.load(args.trace_file)
+    else:
+        trace = generate_trace(rs, args.packets, seed=args.seed + 1)
+    if args.software:
+        batch = tree.batch_lookup(trace)
+        matched = int((batch.match >= 0).sum())
+        print(f"classified {trace.n_packets} packets, {matched} matched")
+        return 0
+    image = build_memory_image(tree, speed=args.speed)
+    run = Accelerator(image).run_trace(trace)
+    asic, fpga = asic_model(), fpga_model()
+    a, f = asic.evaluate(run), fpga.evaluate(run)
+    matched = int((run.match >= 0).sum())
+    print(f"classified {trace.n_packets} packets, {matched} matched")
+    print(f"mean occupancy: {run.mean_occupancy():.3f} cycles/packet")
+    print(f"worst-case latency: {run.worst_latency()} cycles")
+    print(f"ASIC 226MHz: {a.throughput_pps / 1e6:8.1f} Mpps, "
+          f"{a.energy_per_packet_norm_j:.3E} J/packet")
+    print(f"FPGA  77MHz: {f.throughput_pps / 1e6:8.1f} Mpps, "
+          f"{f.energy_per_packet_norm_j:.3E} J/packet")
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from .experiments.run_all import run_all
+
+    out = run_all(quick=args.quick, seed=args.seed)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write("# Regenerated experiments\n\n" + out + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(out)
+    return 0
+
+
+def cmd_fsm(args) -> int:
+    rs = _load_or_generate(args)
+    tree = _build_tree(rs, args)
+    image = build_memory_image(tree, speed=args.speed)
+    trace = generate_trace(rs, args.packets, seed=args.seed + 1)
+    for e in figure5_trace(image, trace):
+        print(f"cycle {e.cycle:>5d}  {e.state:<10s} {e.detail}")
+    return 0
+
+
+def _add_workload_args(p: argparse.ArgumentParser, packets: int = 10000) -> None:
+    p.add_argument("--family", default="acl1", choices=["acl1", "fw1", "ipc1"])
+    p.add_argument("--rules", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--ruleset-file", default=None, help="load instead of generating")
+    p.add_argument("--algorithm", default="hypercuts", choices=["hicuts", "hypercuts"])
+    p.add_argument("--binth", type=int, default=30)
+    p.add_argument("--spfac", type=float, default=4)
+    p.add_argument("--speed", type=int, default=1, choices=[0, 1])
+    p.add_argument("--software", action="store_true",
+                   help="original software algorithm instead of hw mode")
+    p.add_argument("--packets", type=int, default=packets)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-classify", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="synthesise a ruleset (and trace)")
+    g.add_argument("--family", default="acl1", choices=["acl1", "fw1", "ipc1"])
+    g.add_argument("--rules", type=int, default=1000)
+    g.add_argument("--seed", type=int, default=7)
+    g.add_argument("--output", required=True)
+    g.add_argument("--trace", default=None)
+    g.add_argument("--packets", type=int, default=10000)
+    g.set_defaults(fn=cmd_generate)
+
+    b = sub.add_parser("build", help="build a search structure")
+    _add_workload_args(b)
+    b.set_defaults(fn=cmd_build)
+
+    c = sub.add_parser("classify", help="classify a trace")
+    _add_workload_args(c, packets=100000)
+    c.add_argument("--trace-file", default=None)
+    c.set_defaults(fn=cmd_classify)
+
+    t = sub.add_parser("tables", help="regenerate the paper's tables")
+    t.add_argument("--quick", action="store_true")
+    t.add_argument("--seed", type=int, default=7)
+    t.add_argument("-o", "--output", default=None)
+    t.set_defaults(fn=cmd_tables)
+
+    f = sub.add_parser("fsm", help="Figure-5 cycle trace")
+    _add_workload_args(f, packets=5)
+    f.set_defaults(fn=cmd_fsm)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Core substrate: rules, rulesets, packets and interval geometry.
+
+Everything else in :mod:`repro` is built on these types.  See
+``DESIGN.md`` section 2 for the package map.
+"""
+
+from .errors import (
+    BuildError,
+    CapacityError,
+    ConfigError,
+    EncodingError,
+    PacketFormatError,
+    ReproError,
+    RuleFormatError,
+    SimulationError,
+)
+from .geometry import (
+    HW_GRID_BITS,
+    HW_GRID_CELLS,
+    grid_cell,
+    grid_cell_to_range,
+    grid_span,
+    prefix_to_range,
+    range_is_prefix,
+    range_to_prefix,
+    range_to_prefix_cover,
+)
+from .packet import Packet, PacketTrace
+from .rules import (
+    DEMO_SCHEMA,
+    DIM_DST_IP,
+    DIM_DST_PORT,
+    DIM_PROTO,
+    DIM_SRC_IP,
+    DIM_SRC_PORT,
+    FIVE_TUPLE,
+    FieldSchema,
+    Rule,
+    RuleArrays,
+    make_demo_ruleset,
+)
+from .ruleset import RuleSet
+
+__all__ = [
+    "BuildError",
+    "CapacityError",
+    "ConfigError",
+    "EncodingError",
+    "PacketFormatError",
+    "ReproError",
+    "RuleFormatError",
+    "SimulationError",
+    "HW_GRID_BITS",
+    "HW_GRID_CELLS",
+    "grid_cell",
+    "grid_cell_to_range",
+    "grid_span",
+    "prefix_to_range",
+    "range_is_prefix",
+    "range_to_prefix",
+    "range_to_prefix_cover",
+    "Packet",
+    "PacketTrace",
+    "DEMO_SCHEMA",
+    "DIM_DST_IP",
+    "DIM_DST_PORT",
+    "DIM_PROTO",
+    "DIM_SRC_IP",
+    "DIM_SRC_PORT",
+    "FIVE_TUPLE",
+    "FieldSchema",
+    "Rule",
+    "RuleArrays",
+    "make_demo_ruleset",
+    "RuleSet",
+]

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems from capacity limits
+of the modelled hardware.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class RuleFormatError(ReproError):
+    """A rule or ruleset file could not be parsed or is inconsistent."""
+
+
+class PacketFormatError(ReproError):
+    """A packet/trace entry could not be parsed or is out of range."""
+
+
+class BuildError(ReproError):
+    """Decision-tree construction failed (bad parameters, no progress)."""
+
+
+class CapacityError(ReproError):
+    """The modelled hardware resource was exceeded.
+
+    Raised, for example, when a search structure needs more than the
+    accelerator's 1024 words of 4800-bit memory, or when an internal node
+    would require more than 256 child entries.
+    """
+
+
+class EncodingError(ReproError):
+    """A value cannot be represented in the hardware memory format."""
+
+
+class SimulationError(ReproError):
+    """The cycle-accurate simulator reached an inconsistent state."""
+
+
+class ConfigError(ReproError):
+    """Invalid combination of configuration parameters."""

@@ -1,0 +1,53 @@
+"""Line rates, throughput helpers and table formatting utilities.
+
+The paper frames throughput against SONET line rates with worst-case
+40-byte packets arriving back to back:
+
+* OC-48   ≈ 2.488 Gb/s  ->  7.81 Mpps
+* OC-192  ≈ 9.953 Gb/s  -> 31.25 Mpps (the paper's "31.25 Mpps")
+* OC-768  ≈ 39.81 Gb/s  -> 125 Mpps  (the paper's "125 Mpps")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Worst-case packet size used for line-rate math (bytes).
+MIN_PACKET_BYTES = 40
+
+
+@dataclass(frozen=True)
+class LineRate:
+    name: str
+    gbps: float
+
+    @property
+    def worst_case_pps(self) -> float:
+        return self.gbps * 1e9 / (MIN_PACKET_BYTES * 8)
+
+
+OC48 = LineRate("OC-48", 2.488)
+OC192 = LineRate("OC-192", 10.0)  # paper uses the round 31.25 Mpps figure
+OC768 = LineRate("OC-768", 40.0)  # paper uses the round 125 Mpps figure
+
+LINE_RATES = (OC48, OC192, OC768)
+
+
+def sustains_line_rate(throughput_pps: float, rate: LineRate) -> bool:
+    """True when a classifier keeps up with worst-case minimum packets."""
+    return throughput_pps >= rate.worst_case_pps
+
+
+def gain(a: float, b: float) -> float:
+    """How many times larger ``a`` is than ``b`` (paper's "x times" style)."""
+    return a / b if b else float("inf")
+
+
+def fmt_sci(x: float) -> str:
+    """Format like the paper's tables (e.g. ``2.07E-10``)."""
+    return f"{x:.2E}"
+
+
+def fmt_int(x: float) -> str:
+    """Thousands-separated integer formatting (e.g. ``226,000,000``)."""
+    return f"{int(round(x)):,}"

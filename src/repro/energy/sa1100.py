@@ -1,0 +1,81 @@
+"""StrongARM SA-1100 software-execution energy model (Sim-Panalyzer stand-in).
+
+Converts :class:`~repro.algorithms.opcount.OpCounter` tallies into cycles,
+seconds and Joules on the paper's Table 5 StrongARM operating point.  Used
+for:
+
+* Table 3 — energy to *build* the search structure (raw, un-normalised
+  device energy: the build runs once on the control-plane processor);
+* Tables 6/7 — per-packet lookup energy (normalised per eq (8)) and
+  software throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algorithms.opcount import OpCounter
+from .calibration import SA1100_CYCLES_PER_OP
+from .technology import SA1100, DeviceSpec
+
+
+@dataclass
+class SoftwareCost:
+    """Cycles/time/energy of a software execution on the SA-1100."""
+
+    cycles: float
+    seconds: float
+    energy_raw_j: float  # at the device's native 180 nm / 1.8 V point
+    energy_norm_j: float  # normalised to 65 nm / 1.0 V (eq 8)
+
+
+class Sa1100Model:
+    """Operation-level cost model for software running on the SA-1100."""
+
+    def __init__(
+        self,
+        device: DeviceSpec = SA1100,
+        cycles_per_op: dict[str, float] | None = None,
+    ) -> None:
+        self.device = device
+        self.cycles_per_op = dict(cycles_per_op or SA1100_CYCLES_PER_OP)
+
+    # ------------------------------------------------------------------
+    def cycles(self, ops: OpCounter) -> float:
+        """Total SA-1100 cycles for the counted operations."""
+        total = 0.0
+        for category, count in ops.counts.items():
+            total += count * self.cycles_per_op.get(category, 1.0)
+        return total
+
+    def cost(self, ops: OpCounter) -> SoftwareCost:
+        cycles = self.cycles(ops)
+        seconds = cycles / self.device.freq_hz
+        return SoftwareCost(
+            cycles=cycles,
+            seconds=seconds,
+            energy_raw_j=self.device.power_raw_w * seconds,
+            energy_norm_j=self.device.power_norm_w * seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def build_energy_j(self, ops: OpCounter) -> float:
+        """Table 3 metric: raw Joules to build a search structure."""
+        return self.cost(ops).energy_raw_j
+
+    def lookup_cost(self, ops: OpCounter, n_packets: int) -> SoftwareCost:
+        """Average per-packet cost given ops accumulated over a trace."""
+        if n_packets < 1:
+            raise ValueError("n_packets must be >= 1")
+        total = self.cost(ops)
+        return SoftwareCost(
+            cycles=total.cycles / n_packets,
+            seconds=total.seconds / n_packets,
+            energy_raw_j=total.energy_raw_j / n_packets,
+            energy_norm_j=total.energy_norm_j / n_packets,
+        )
+
+    def throughput_pps(self, ops: OpCounter, n_packets: int) -> float:
+        """Table 7 metric: packets/second the SA-1100 sustains."""
+        per_packet = self.lookup_cost(ops, n_packets)
+        return 1.0 / per_packet.seconds if per_packet.seconds else 0.0

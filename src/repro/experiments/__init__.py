@@ -1,0 +1,32 @@
+"""Experiment harness: one module per paper table/figure (DESIGN.md §3).
+
+Each module exposes ``run(pipeline) -> rows`` (structured results) and
+``report(pipeline) -> str`` (paper-vs-measured text table plus shape
+checks).  ``run_all`` regenerates everything.
+"""
+
+from .common import (
+    ACL1_SIZES,
+    BINTH_HARDWARE,
+    BINTH_SOFTWARE,
+    PAPER_SPEED,
+    PAPER_SPFAC,
+    TABLE4_SIZES,
+    Pipeline,
+    Workload,
+    render_table,
+    shape_check,
+)
+
+__all__ = [
+    "ACL1_SIZES",
+    "BINTH_HARDWARE",
+    "BINTH_SOFTWARE",
+    "PAPER_SPEED",
+    "PAPER_SPFAC",
+    "TABLE4_SIZES",
+    "Pipeline",
+    "Workload",
+    "render_table",
+    "shape_check",
+]

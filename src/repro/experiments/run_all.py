@@ -1,0 +1,76 @@
+"""Regenerate every table and figure in one run.
+
+Usage::
+
+    python -m repro.experiments.run_all            # full grids
+    python -m repro.experiments.run_all --quick    # CI-sized grids
+    python -m repro.experiments.run_all -o EXPERIMENTS_RUN.md
+
+One :class:`~repro.experiments.common.Pipeline` is shared so each
+workload is generated/built exactly once across tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    ablations,
+    claims,
+    figures,
+    section53,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+from .common import Pipeline
+
+SECTIONS = (
+    ("Figures 1-3 and 5", figures.report),
+    ("Table 2", table2.report),
+    ("Table 3", table3.report),
+    ("Table 4", table4.report),
+    ("Table 5", table5.report),
+    ("Table 6", table6.report),
+    ("Table 7", table7.report),
+    ("Table 8", table8.report),
+    ("Section 5.3", section53.report),
+    ("Ablations", ablations.report),
+    ("Headline claims", claims.report),
+)
+
+
+def run_all(quick: bool = False, seed: int = 7) -> str:
+    pipe = Pipeline(seed=seed, quick=quick)
+    parts = []
+    for name, fn in SECTIONS:
+        t0 = time.time()
+        body = fn(pipe)
+        parts.append(f"## {name}  (took {time.time() - t0:.1f}s)\n\n```\n{body}\n```")
+    return "\n\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized grids")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("-o", "--output", default=None, help="write markdown here")
+    args = parser.parse_args(argv)
+    out = run_all(quick=args.quick, seed=args.seed)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write("# Regenerated experiments\n\n" + out + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Table 3 — energy used to build the search structure (Joules).
+
+The build runs on the control-plane processor (the StrongARM in [12]'s
+methodology), so the metric is raw SA-1100 energy: counted build
+operations → cycles → seconds × device power.  The paper's headline from
+this table: the modified HiCuts uses 11.84× less energy than the original
+at 2191 rules (the 32-cut floor skips most of the doubling ladder, and
+no per-node divisions are needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..energy import Sa1100Model
+from ..energy.metrics import fmt_sci, gain
+from .common import Pipeline, render_table, shape_check
+from .paper_values import ACL1_SIZES, TABLE3_JOULES
+
+
+@dataclass
+class Table3Row:
+    size: int
+    sw_hicuts_j: float
+    sw_hypercuts_j: float
+    hw_hicuts_j: float
+    hw_hypercuts_j: float
+
+
+def run(pipeline: Pipeline | None = None) -> list[Table3Row]:
+    pipe = pipeline or Pipeline()
+    model = Sa1100Model()
+    rows = []
+    for size in pipe.acl1_sizes():
+        wl = pipe.workload("acl1", size)
+        rows.append(
+            Table3Row(
+                size=size,
+                sw_hicuts_j=model.build_energy_j(wl.sw["hicuts"].build_ops),
+                sw_hypercuts_j=model.build_energy_j(wl.sw["hypercuts"].build_ops),
+                hw_hicuts_j=model.build_energy_j(wl.hw["hicuts"].build_ops),
+                hw_hypercuts_j=model.build_energy_j(wl.hw["hypercuts"].build_ops),
+            )
+        )
+    return rows
+
+
+def report(pipeline: Pipeline | None = None) -> str:
+    rows = run(pipeline)
+    paper = {
+        size: {k: v[i] for k, v in TABLE3_JOULES.items()}
+        for i, size in enumerate(ACL1_SIZES)
+    }
+    body = []
+    for r in rows:
+        p = paper.get(r.size, {})
+        body.append(
+            [
+                r.size,
+                fmt_sci(r.sw_hicuts_j), fmt_sci(p.get("sw_hicuts", 0)),
+                fmt_sci(r.sw_hypercuts_j), fmt_sci(p.get("sw_hypercuts", 0)),
+                fmt_sci(r.hw_hicuts_j), fmt_sci(p.get("hw_hicuts", 0)),
+                fmt_sci(r.hw_hypercuts_j), fmt_sci(p.get("hw_hypercuts", 0)),
+            ]
+        )
+    table = render_table(
+        "Table 3: energy to build the search structure (J), spfac=4, speed=1",
+        ["rules", "swHC", "(paper)", "swHyC", "(paper)",
+         "hwHC", "(paper)", "hwHyC", "(paper)"],
+        body,
+    )
+    last = rows[-1]
+    saving = gain(last.sw_hicuts_j, last.hw_hicuts_j)
+    checks = [
+        shape_check(
+            f"modified HiCuts cheaper to build at {last.size} rules "
+            f"(saving {saving:.2f}x; paper 11.84x)",
+            saving > 1.0,
+        ),
+        shape_check(
+            "build energy grows with ruleset size (HiCuts sw)",
+            all(a.sw_hicuts_j <= b.sw_hicuts_j for a, b in zip(rows, rows[1:])),
+        ),
+    ]
+    return table + "\n" + "\n".join(checks)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(report())

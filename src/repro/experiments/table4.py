@@ -1,0 +1,120 @@
+"""Table 4 — memory and worst-case cycles for acl1/fw1/ipc1 at scale.
+
+For every ClassBench family and size the modified algorithms are built,
+laid out, and measured: memory = used words × 600 bytes, worst-case
+cycles = the static path analysis (internal fetches after the register-
+resident root + worst leaf scan + the root-index cycle).
+
+The paper's shapes this table must reproduce:
+
+* acl1/ipc1 memory grows roughly linearly and stays within ~0.6 MB at
+  25k rules; fw1 explodes beyond ~10k rules (wildcard replication);
+* at ≥20k fw1 rules HyperCuts consumes *more* than HiCuts (8.2 MB vs
+  3.3 MB in the paper);
+* worst-case cycles stay in the 2-8 band everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..energy.metrics import fmt_int
+from .common import Pipeline, render_table, shape_check
+from .paper_values import TABLE4
+
+
+@dataclass
+class Table4Row:
+    family: str
+    size: int
+    hicuts_bytes: int
+    hicuts_cycles: int
+    hypercuts_bytes: int
+    hypercuts_cycles: int
+
+
+def run(
+    pipeline: Pipeline | None = None, families: tuple[str, ...] = ("acl1", "fw1", "ipc1")
+) -> list[Table4Row]:
+    pipe = pipeline or Pipeline()
+    rows = []
+    for family in families:
+        for size in pipe.table4_sizes(family):
+            meas = pipe.layout_measurements(family, size)
+            hc, hyc = meas["hicuts"], meas["hypercuts"]
+            rows.append(
+                Table4Row(
+                    family=family,
+                    size=size,
+                    hicuts_bytes=hc.bytes_used,
+                    hicuts_cycles=hc.worst_case_cycles,
+                    hypercuts_bytes=hyc.bytes_used,
+                    hypercuts_cycles=hyc.worst_case_cycles,
+                )
+            )
+    return rows
+
+
+def report(pipeline: Pipeline | None = None) -> str:
+    rows = run(pipeline)
+    paper_lookup = {}
+    for family, data in TABLE4.items():
+        for i, size in enumerate(data["sizes"]):
+            paper_lookup[(family, size)] = (
+                data["hicuts_bytes"][i],
+                data["hicuts_cycles"][i],
+                data["hypercuts_bytes"][i],
+                data["hypercuts_cycles"][i],
+            )
+    body = []
+    for r in rows:
+        p = paper_lookup.get((r.family, r.size), ("-", "-", "-", "-"))
+        body.append(
+            [
+                f"{r.family}-{r.size}",
+                fmt_int(r.hicuts_bytes), p[0] if p[0] == "-" else fmt_int(p[0]),
+                r.hicuts_cycles, p[1],
+                fmt_int(r.hypercuts_bytes), p[2] if p[2] == "-" else fmt_int(p[2]),
+                r.hypercuts_cycles, p[3],
+            ]
+        )
+    table = render_table(
+        "Table 4: memory (bytes) and worst-case cycles, spfac=4, speed=1",
+        ["ruleset", "HC bytes", "(paper)", "HC cyc", "(p)",
+         "HyC bytes", "(paper)", "HyC cyc", "(p)"],
+        body,
+    )
+
+    by_family = {}
+    for r in rows:
+        by_family.setdefault(r.family, []).append(r)
+    checks = []
+    if "acl1" in by_family and "fw1" in by_family:
+        acl_big = by_family["acl1"][-1]
+        fw_big = by_family["fw1"][-1]
+        checks.append(
+            shape_check(
+                f"fw1 memory ≫ acl1 memory at ~{fw_big.size} rules "
+                f"({fw_big.hicuts_bytes / max(acl_big.hicuts_bytes, 1):.1f}x)",
+                fw_big.hicuts_bytes > 2 * acl_big.hicuts_bytes,
+            )
+        )
+        if fw_big.size >= 20000:
+            checks.append(
+                shape_check(
+                    "fw1 at 20k+: HyperCuts memory exceeds HiCuts "
+                    "(paper: 8.2MB vs 3.3MB)",
+                    fw_big.hypercuts_bytes > fw_big.hicuts_bytes,
+                )
+            )
+    checks.append(
+        shape_check(
+            "worst-case cycles stay in a single-digit band",
+            all(r.hicuts_cycles <= 12 and r.hypercuts_cycles <= 12 for r in rows),
+        )
+    )
+    return table + "\n" + "\n".join(checks)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(report())

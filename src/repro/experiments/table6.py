@@ -1,0 +1,104 @@
+"""Table 6 — average normalised energy to classify a packet (Joules).
+
+Software rows: counted lookup operations over the trace → SA-1100 cycles
+→ time × normalised power (eq 8).  Hardware rows: mean occupancy from the
+trace run × normalised active power / frequency, for both the 65 nm ASIC
+and the Virtex-5 (the FPGA number includes memory power, as in the
+paper).
+
+Headline shape: the accelerator saves three-to-four orders of magnitude
+per packet versus the software algorithms on the StrongARM (the paper
+quotes "up to 7,773 times" vs HiCuts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..energy import Sa1100Model, asic_model, fpga_model, software_lookup_ops
+from ..energy.metrics import fmt_sci, gain
+from .common import Pipeline, render_table, shape_check
+from .paper_values import ACL1_SIZES, TABLE6_JOULES
+
+
+@dataclass
+class Table6Row:
+    size: int
+    sw_hicuts_j: float
+    sw_hypercuts_j: float
+    asic_hicuts_j: float
+    asic_hypercuts_j: float
+    fpga_hicuts_j: float
+    fpga_hypercuts_j: float
+
+
+def run(pipeline: Pipeline | None = None) -> list[Table6Row]:
+    pipe = pipeline or Pipeline()
+    sa = Sa1100Model()
+    asic = asic_model()
+    fpga = fpga_model()
+    rows = []
+    for size in pipe.acl1_sizes():
+        wl = pipe.workload("acl1", size)
+        n = wl.trace.n_packets
+
+        def sw_energy(variant) -> float:
+            ops = software_lookup_ops(variant.tree, variant.batch)
+            return sa.lookup_cost(ops, n).energy_norm_j
+
+        rows.append(
+            Table6Row(
+                size=size,
+                sw_hicuts_j=sw_energy(wl.sw["hicuts"]),
+                sw_hypercuts_j=sw_energy(wl.sw["hypercuts"]),
+                asic_hicuts_j=asic.evaluate(wl.hw["hicuts"].run).energy_per_packet_norm_j,
+                asic_hypercuts_j=asic.evaluate(wl.hw["hypercuts"].run).energy_per_packet_norm_j,
+                fpga_hicuts_j=fpga.evaluate(wl.hw["hicuts"].run).energy_per_packet_norm_j,
+                fpga_hypercuts_j=fpga.evaluate(wl.hw["hypercuts"].run).energy_per_packet_norm_j,
+            )
+        )
+    return rows
+
+
+def report(pipeline: Pipeline | None = None) -> str:
+    rows = run(pipeline)
+    paper = {
+        size: {k: v[i] for k, v in TABLE6_JOULES.items()}
+        for i, size in enumerate(ACL1_SIZES)
+    }
+    body = []
+    for r in rows:
+        p = paper.get(r.size, {})
+        body.append(
+            [
+                r.size,
+                fmt_sci(r.sw_hicuts_j), fmt_sci(p.get("sw_hicuts", 0)),
+                fmt_sci(r.asic_hicuts_j), fmt_sci(p.get("asic_hicuts", 0)),
+                fmt_sci(r.fpga_hicuts_j), fmt_sci(p.get("fpga_hicuts", 0)),
+                fmt_sci(r.sw_hypercuts_j), fmt_sci(p.get("sw_hypercuts", 0)),
+                fmt_sci(r.asic_hypercuts_j), fmt_sci(p.get("asic_hypercuts", 0)),
+            ]
+        )
+    table = render_table(
+        "Table 6: average normalised energy per packet (J), spfac=4, speed=1",
+        ["rules", "swHC", "(paper)", "asicHC", "(paper)", "fpgaHC", "(paper)",
+         "swHyC", "(paper)", "asicHyC", "(paper)"],
+        body,
+    )
+    worst = max(gain(r.sw_hicuts_j, r.asic_hicuts_j) for r in rows)
+    checks = [
+        shape_check(
+            f"ASIC saves orders of magnitude vs software HiCuts "
+            f"(max {worst:,.0f}x; paper up to 7,773x)",
+            worst > 500,
+        ),
+        shape_check(
+            "FPGA energy/packet sits between ASIC and software",
+            all(r.asic_hicuts_j < r.fpga_hicuts_j < r.sw_hicuts_j for r in rows),
+        ),
+    ]
+    return table + "\n" + "\n".join(checks)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(report())

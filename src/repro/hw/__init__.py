@@ -1,0 +1,89 @@
+"""Hardware accelerator substrate: memory encodings, layout, simulators.
+
+Implements Section 3's memory organisation (4800-bit words, 160-bit rules,
+256-entry internal nodes, internal-first layout with the ``speed``
+parameter) and Section 4's architecture (Figure 4 datapath, Figure 5 FSM)
+as a cycle-accurate functional simulator plus a vectorised trace model.
+"""
+
+from .accelerator import (
+    Accelerator,
+    AcceleratorFSM,
+    AcceleratorRun,
+    FsmPacketRecord,
+    FsmTraceEvent,
+    figure5_trace,
+    header_msb8,
+)
+from .encoding import (
+    CHILD_ENTRY_BITS,
+    EMPTY_ADDR,
+    INVALID_RULE_ID,
+    MAX_CHILDREN,
+    RULE_BITS,
+    RULES_PER_WORD,
+    WORD_BITS,
+    WORD_BYTES,
+    ChildEntry,
+    DecodedNode,
+    DecodedRule,
+    decode_internal_node,
+    decode_ip_prefix,
+    decode_rule,
+    encode_internal_node,
+    encode_ip_prefix,
+    encode_rule,
+    pack_leaf_word,
+    unpack_leaf_word,
+)
+from .layout import (
+    LayoutMeasurement,
+    MemoryImage,
+    build_memory_image,
+    measure_layout,
+)
+from .memory import (
+    DEFAULT_CAPACITY_WORDS,
+    EXTENDED_CAPACITY_WORDS,
+    N_MEMORY_BLOCKS,
+    MemoryArray,
+    Placement,
+)
+
+__all__ = [
+    "Accelerator",
+    "AcceleratorFSM",
+    "AcceleratorRun",
+    "FsmPacketRecord",
+    "FsmTraceEvent",
+    "figure5_trace",
+    "header_msb8",
+    "CHILD_ENTRY_BITS",
+    "EMPTY_ADDR",
+    "INVALID_RULE_ID",
+    "MAX_CHILDREN",
+    "RULE_BITS",
+    "RULES_PER_WORD",
+    "WORD_BITS",
+    "WORD_BYTES",
+    "ChildEntry",
+    "DecodedNode",
+    "DecodedRule",
+    "decode_internal_node",
+    "decode_ip_prefix",
+    "decode_rule",
+    "encode_internal_node",
+    "encode_ip_prefix",
+    "encode_rule",
+    "pack_leaf_word",
+    "unpack_leaf_word",
+    "LayoutMeasurement",
+    "MemoryImage",
+    "build_memory_image",
+    "measure_layout",
+    "DEFAULT_CAPACITY_WORDS",
+    "EXTENDED_CAPACITY_WORDS",
+    "N_MEMORY_BLOCKS",
+    "MemoryArray",
+    "Placement",
+]

@@ -1,0 +1,98 @@
+"""The accelerator's on-chip memory array.
+
+The paper's design point: **1024 words × 4800 bits** (614,400 bytes),
+spread over **134 block RAMs** on the Virtex5SX95T (54 % of its BRAM), one
+word readable per clock through a 4800-bit bus.  The design "could easily
+be doubled to 2048 memory words" on larger parts (Section 3), so capacity
+is a constructor parameter here.
+
+:class:`MemoryImage` is the bridge between the tree builders and the
+cycle-accurate simulator: it owns the encoded words, the placement map
+(node id -> word/position) and the write-port bookkeeping that models the
+shared load interface (``Write_enable`` / ``write_address`` in Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import CapacityError, EncodingError
+from .encoding import WORD_BITS, WORD_BYTES, word_from_bytes, word_to_bytes
+
+#: Paper design point.
+DEFAULT_CAPACITY_WORDS = 1024
+N_MEMORY_BLOCKS = 134
+
+#: The larger part the paper mentions (Virtex XC5VLX330T, 1,458,000 bytes).
+EXTENDED_CAPACITY_WORDS = 2048
+
+
+@dataclass
+class Placement:
+    """Where a tree node lives in the memory array."""
+
+    node_id: int
+    is_leaf: bool
+    addr: int  # word address
+    pos: int  # rule slot within the word (leaves; internals are pos 0)
+    n_rules: int = 0  # leaf rule count
+    words_spanned: int = 1  # words a full scan of this leaf touches
+
+
+class MemoryArray:
+    """A write-once array of 4800-bit words with capacity accounting."""
+
+    def __init__(self, capacity_words: int = DEFAULT_CAPACITY_WORDS) -> None:
+        if capacity_words < 1:
+            raise CapacityError("capacity must be at least one word")
+        self.capacity_words = capacity_words
+        self._words: dict[int, int] = {}
+        self.writes = 0  # write-port transactions (load phase model)
+
+    def write(self, addr: int, word: int) -> None:
+        if not 0 <= addr < self.capacity_words:
+            raise CapacityError(
+                f"word address {addr} outside the {self.capacity_words}-word "
+                f"memory (the paper's design holds {DEFAULT_CAPACITY_WORDS}; "
+                f"reduce spfac to trade throughput for memory, Section 3)"
+            )
+        if word < 0 or word >> WORD_BITS:
+            raise EncodingError("word exceeds 4800 bits")
+        self._words[addr] = word
+        self.writes += 1
+
+    def read(self, addr: int) -> int:
+        try:
+            return self._words[addr]
+        except KeyError:
+            raise CapacityError(f"read of unwritten word {addr}") from None
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._words
+
+    @property
+    def words_used(self) -> int:
+        return len(self._words)
+
+    @property
+    def bytes_used(self) -> int:
+        """The paper's memory metric: used words × 600 bytes."""
+        return self.words_used * WORD_BYTES
+
+    def to_bytes(self) -> bytes:
+        """Serialise the array (used words, in address order)."""
+        out = bytearray()
+        for addr in sorted(self._words):
+            out += addr.to_bytes(2, "big") + word_to_bytes(self._words[addr])
+        return bytes(out)
+
+    @staticmethod
+    def from_bytes(data: bytes, capacity_words: int = DEFAULT_CAPACITY_WORDS) -> "MemoryArray":
+        if len(data) % (2 + WORD_BYTES):
+            raise EncodingError("corrupt memory dump")
+        arr = MemoryArray(capacity_words)
+        step = 2 + WORD_BYTES
+        for i in range(0, len(data), step):
+            addr = int.from_bytes(data[i : i + 2], "big")
+            arr.write(addr, word_from_bytes(data[i + 2 : i + step]))
+        return arr

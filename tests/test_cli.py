@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.ruleset import RuleSet
+
+
+class TestGenerate:
+    def test_generate_writes_files(self, tmp_path, capsys):
+        rules_path = str(tmp_path / "rules.txt")
+        trace_path = str(tmp_path / "trace.txt")
+        rc = main([
+            "generate", "--family", "acl1", "--rules", "80",
+            "--seed", "3", "--output", rules_path,
+            "--trace", trace_path, "--packets", "50",
+        ])
+        assert rc == 0
+        rs = RuleSet.load(rules_path)
+        assert len(rs) == 80
+        out = capsys.readouterr().out
+        assert "80 rules" in out and "50 packets" in out
+
+
+class TestBuild:
+    def test_build_hw(self, capsys):
+        rc = main([
+            "build", "--family", "acl1", "--rules", "120", "--seed", "3",
+            "--algorithm", "hicuts",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "memory image" in out
+        assert "worst-case cycles" in out
+
+    def test_build_software(self, capsys):
+        rc = main([
+            "build", "--family", "acl1", "--rules", "120", "--seed", "3",
+            "--software",
+        ])
+        assert rc == 0
+        assert "software memory model" in capsys.readouterr().out
+
+    def test_build_from_file(self, tmp_path, capsys):
+        rules_path = str(tmp_path / "r.txt")
+        main(["generate", "--rules", "60", "--output", rules_path])
+        rc = main(["build", "--ruleset-file", rules_path])
+        assert rc == 0
+
+
+class TestClassify:
+    def test_classify_hw(self, capsys):
+        rc = main([
+            "classify", "--family", "acl1", "--rules", "120",
+            "--packets", "500", "--seed", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Mpps" in out
+        assert "mean occupancy" in out
+
+    def test_classify_software(self, capsys):
+        rc = main([
+            "classify", "--family", "acl1", "--rules", "120",
+            "--packets", "300", "--software",
+        ])
+        assert rc == 0
+        assert "classified 300 packets" in capsys.readouterr().out
+
+
+class TestFsm:
+    def test_fsm_trace(self, capsys):
+        rc = main([
+            "fsm", "--family", "acl1", "--rules", "80", "--packets", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "LOAD_ROOT" in out
+        assert "COMPARE" in out
+
+
+class TestArgErrors:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            main(["build", "--family", "nope"])

@@ -1,0 +1,254 @@
+"""Tests for the hardware memory word encodings (bit-exact formats)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import EncodingError
+from repro.core.geometry import prefix_to_range
+from repro.core.rules import Rule
+from repro.hw.encoding import (
+    CHILD_ENTRY_BITS,
+    EMPTY_ADDR,
+    INVALID_RULE_ID,
+    MAX_CHILDREN,
+    NODE_BITS,
+    RULE_BITS,
+    RULES_PER_WORD,
+    WORD_BITS,
+    WORD_BYTES,
+    ChildEntry,
+    decode_internal_node,
+    decode_ip_prefix,
+    decode_rule,
+    empty_rule_slot,
+    encode_internal_node,
+    encode_ip_prefix,
+    encode_rule,
+    get_bits,
+    pack_leaf_word,
+    set_bits,
+    unpack_leaf_word,
+    word_from_bytes,
+    word_to_bytes,
+)
+
+
+class TestGeometryOfTheFormats:
+    def test_paper_constants(self):
+        assert WORD_BITS == 4800
+        assert WORD_BYTES == 600
+        assert RULE_BITS == 160
+        assert RULES_PER_WORD == 30
+        assert MAX_CHILDREN == 256
+        assert CHILD_ENTRY_BITS == 1 + 12 + 5
+        # 256*18 + 5*16 = 4688 <= 4800: an internal node fits one word.
+        assert NODE_BITS == 4688
+        assert NODE_BITS <= WORD_BITS
+
+
+class TestBitHelpers:
+    def test_set_get_roundtrip(self):
+        word = 0
+        word = set_bits(word, 17, 5, 0b10110)
+        assert get_bits(word, 17, 5) == 0b10110
+        assert get_bits(word, 0, 17) == 0
+
+    def test_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            set_bits(0, 0, 3, 8)
+
+    def test_word_bytes_roundtrip(self):
+        word = (1 << 4799) | 0xDEADBEEF
+        assert word_from_bytes(word_to_bytes(word)) == word
+
+    def test_bad_byte_length(self):
+        with pytest.raises(EncodingError):
+            word_from_bytes(b"\x00" * 10)
+
+
+class TestIpPrefixEncoding:
+    @given(st.integers(0, 32), st.integers(0, 2**32 - 1))
+    def test_roundtrip_every_length(self, plen, value):
+        lo, hi = prefix_to_range(value, plen, 32)
+        addr, mask3 = encode_ip_prefix(lo, hi)
+        assert 0 <= mask3 <= 5
+        assert decode_ip_prefix(addr, mask3) == (lo, hi)
+
+    def test_long_prefixes_use_direct_codes(self):
+        for plen in range(28, 33):
+            lo, hi = prefix_to_range(0xC0A80180, plen, 32)
+            addr, mask3 = encode_ip_prefix(lo, hi)
+            assert mask3 == plen - 28
+            assert addr == lo
+
+    def test_short_prefix_embeds_length(self):
+        lo, hi = prefix_to_range(0x0A000000, 8, 32)
+        addr, mask3 = encode_ip_prefix(lo, hi)
+        assert mask3 == 5
+        assert addr & 0x1F == 8
+
+    def test_non_prefix_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_ip_prefix(1, 2)
+
+    def test_bad_mask_code(self):
+        with pytest.raises(EncodingError):
+            decode_ip_prefix(0, 7)
+
+    def test_corrupt_embedded_length(self):
+        with pytest.raises(EncodingError):
+            decode_ip_prefix(31, 5)  # plen 31 > 27 cannot use code 5
+
+
+def _mk_rule(sip=(0xC0A80000, 16), dip=(0x0A000001, 32), sport=(0, 65535),
+             dport=(80, 80), proto=(6, 1), priority=0):
+    return Rule.from_5tuple(sip, dip, sport, dport, proto, priority=priority)
+
+
+class TestRuleEncoding:
+    def test_roundtrip(self):
+        rule = _mk_rule()
+        slot = encode_rule(rule, 42, end_of_leaf=True)
+        dec = decode_rule(slot)
+        assert dec.valid
+        assert dec.rule_id == 42
+        assert dec.end_of_leaf
+        assert dec.ranges == rule.ranges
+
+    def test_wildcard_proto(self):
+        rule = _mk_rule(proto=(0, 0))
+        dec = decode_rule(encode_rule(rule, 1, False))
+        assert dec.ranges[4] == (0, 255)
+
+    def test_matches_agrees_with_rule(self):
+        rule = _mk_rule()
+        dec = decode_rule(encode_rule(rule, 0, False))
+        for header in (
+            (0xC0A80001, 0x0A000001, 1000, 80, 6),
+            (0xC0A90001, 0x0A000001, 1000, 80, 6),
+            (0xC0A80001, 0x0A000001, 1000, 81, 6),
+        ):
+            assert dec.matches(header) == rule.matches(header)
+
+    def test_rule_id_too_large(self):
+        with pytest.raises(EncodingError):
+            encode_rule(_mk_rule(), INVALID_RULE_ID, False)
+
+    def test_non_prefix_ip_rejected(self):
+        rule = Rule(
+            ranges=((1, 2), (0, 2**32 - 1), (0, 65535), (0, 65535), (0, 255)),
+        )
+        with pytest.raises(EncodingError):
+            encode_rule(rule, 0, False)
+
+    def test_proto_range_rejected(self):
+        rule = Rule(
+            ranges=(
+                (0, 2**32 - 1), (0, 2**32 - 1), (0, 65535), (0, 65535), (5, 9),
+            ),
+        )
+        with pytest.raises(EncodingError):
+            encode_rule(rule, 0, False)
+
+    def test_empty_slot_never_matches(self):
+        dec = decode_rule(empty_rule_slot())
+        assert not dec.valid
+
+    @given(
+        st.integers(0, 32), st.integers(0, 2**32 - 1),
+        st.integers(0, 32), st.integers(0, 2**32 - 1),
+        st.tuples(st.integers(0, 65535), st.integers(0, 65535)),
+        st.tuples(st.integers(0, 65535), st.integers(0, 65535)),
+        st.one_of(st.none(), st.integers(0, 255)),
+        st.integers(0, 65534),
+    )
+    def test_roundtrip_property(self, sp, sv, dp, dv, sport, dport, proto, rid):
+        rule = Rule.from_5tuple(
+            (sv, sp), (dv, dp),
+            (min(sport), max(sport)), (min(dport), max(dport)),
+            (proto or 0, 0 if proto is None else 1),
+        )
+        dec = decode_rule(encode_rule(rule, rid, end_of_leaf=False))
+        assert dec.ranges == rule.ranges
+        assert dec.rule_id == rid
+
+
+class TestInternalNodeEncoding:
+    def test_roundtrip(self):
+        entries = [
+            ChildEntry(is_leaf=False, addr=3, pos=0),
+            ChildEntry(is_leaf=True, addr=77, pos=12),
+            ChildEntry(is_leaf=True, addr=EMPTY_ADDR, pos=0),
+        ]
+        masks = [0xF8, 0, 0xC0, 0, 0x80]
+        shifts = [3, 0, -2, 0, 7]
+        word = encode_internal_node(masks, shifts, entries)
+        dec = decode_internal_node(word)
+        assert dec.masks == tuple(masks)
+        assert dec.shifts == tuple(shifts)
+        assert dec.entries[0] == entries[0]
+        assert dec.entries[1] == entries[1]
+        assert dec.entries[2].is_empty
+        # Unspecified slots decode as empty.
+        assert dec.entries[255].is_empty
+
+    def test_child_index_datapath(self):
+        # Cut dim0 into 4 (top 2 bits) and dim4 into 2: idx = a*2 + b.
+        masks = [0xC0, 0, 0, 0, 0x80]
+        shifts = [5, 0, 0, 0, 7]
+        word = encode_internal_node(
+            masks, shifts, [ChildEntry(False, 0, 0)] * 8
+        )
+        dec = decode_internal_node(word)
+        assert dec.child_index((0b10000000, 0, 0, 0, 0b00000000)) == 4
+        assert dec.child_index((0b10000000, 0, 0, 0, 0b10000000)) == 5
+        assert dec.child_index((0b11000000, 0, 0, 0, 0b10000000)) == 7
+
+    def test_negative_shift_left_shifts(self):
+        masks = [0x01, 0, 0, 0, 0]
+        shifts = [-3, 0, 0, 0, 0]
+        dec = decode_internal_node(
+            encode_internal_node(masks, shifts, [ChildEntry(False, 0, 0)])
+        )
+        assert dec.child_index((1, 0, 0, 0, 0)) == 8
+
+    def test_too_many_children(self):
+        with pytest.raises(EncodingError):
+            encode_internal_node(
+                [0] * 5, [0] * 5, [ChildEntry(False, 0, 0)] * 257
+            )
+
+    def test_addr_overflow(self):
+        with pytest.raises(EncodingError):
+            encode_internal_node(
+                [0] * 5, [0] * 5, [ChildEntry(False, 5000, 0)]
+            )
+
+    def test_pos_overflow(self):
+        with pytest.raises(EncodingError):
+            encode_internal_node(
+                [0] * 5, [0] * 5, [ChildEntry(True, 0, 40)]
+            )
+
+
+class TestLeafWords:
+    def test_pack_unpack(self):
+        slots = [encode_rule(_mk_rule(priority=i), i, i == 2) for i in range(3)]
+        word = pack_leaf_word(slots)
+        out = unpack_leaf_word(word)
+        assert out[:3] == slots
+        assert all(decode_rule(s).rule_id == INVALID_RULE_ID for s in out[3:])
+
+    def test_too_many_slots(self):
+        with pytest.raises(EncodingError):
+            pack_leaf_word([0] * 31)
+
+    def test_full_word(self):
+        slots = [
+            encode_rule(_mk_rule(priority=i), i, i == 29) for i in range(30)
+        ]
+        out = unpack_leaf_word(pack_leaf_word(slots))
+        assert out == slots

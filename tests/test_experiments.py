@@ -1,0 +1,135 @@
+"""Smoke + shape tests for the experiment harness (quick pipeline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Pipeline
+from repro.experiments import (
+    ablations,
+    figures,
+    section53,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    # Small trace + reduced grids: the whole module runs in well under a
+    # minute while exercising every experiment path.
+    return Pipeline(seed=5, quick=True, trace_packets=4000)
+
+
+class TestFigures:
+    def test_figure1_checks_pass(self):
+        assert all("PASS" in c for c in figures.figure1_matches_paper())
+
+    def test_figure3_checks_pass(self):
+        assert all("PASS" in c for c in figures.figure3_matches_paper())
+
+    def test_report_renders(self, pipe):
+        out = figures.report(pipe)
+        assert "Figure 1" in out and "Figure 3" in out and "cycle" in out
+        assert "FAIL" not in out
+
+
+class TestTables:
+    def test_table2(self, pipe):
+        rows = table2.run(pipe)
+        assert len(rows) == len(pipe.acl1_sizes())
+        for row in rows:
+            # Hardware memory is whole words.
+            assert row.hw_hicuts % 600 == 0
+            assert row.hw_hypercuts % 600 == 0
+            assert row.sw_hicuts > 0
+        # Memory grows with ruleset size.
+        assert rows[-1].hw_hicuts > rows[0].hw_hicuts
+
+    def test_table3(self, pipe):
+        rows = table3.run(pipe)
+        assert all(r.sw_hicuts_j > 0 for r in rows)
+        assert rows[-1].sw_hicuts_j > rows[0].sw_hicuts_j
+        assert "FAIL" not in table3.report(pipe)
+
+    def test_table4(self, pipe):
+        rows = table4.run(pipe, families=("acl1", "fw1"))
+        assert all(2 <= r.hicuts_cycles <= 12 for r in rows)
+        fw = [r for r in rows if r.family == "fw1"]
+        acl = [r for r in rows if r.family == "acl1"]
+        assert fw[-1].hicuts_bytes > acl[-1].hicuts_bytes
+
+    def test_table5(self, pipe):
+        out = table5.report(pipe)
+        assert "42.45" in out and "18.32" in out
+        assert "FAIL" not in out
+
+    def test_table6(self, pipe):
+        rows = table6.run(pipe)
+        for r in rows:
+            assert r.asic_hicuts_j < r.fpga_hicuts_j < r.sw_hicuts_j
+        assert "FAIL" not in table6.report(pipe)
+
+    def test_table7(self, pipe):
+        rows = table7.run(pipe)
+        for r in rows:
+            assert r.asic_hicuts_pps > r.fpga_hicuts_pps > r.sw_hicuts_pps
+            assert r.asic_hicuts_pps <= 226e6 + 1
+            assert r.fpga_hicuts_pps <= 77e6 + 1
+        assert "FAIL" not in table7.report(pipe)
+
+    def test_table8(self, pipe):
+        rows = table8.run(pipe)
+        for r in rows:
+            assert r.hw_hicuts >= 2
+            assert r.sw_hicuts > r.hw_hicuts
+        assert "FAIL" not in table8.report(pipe)
+
+
+class TestSection53:
+    def test_report(self, pipe):
+        out = section53.report(pipe)
+        assert "Ayama" in out
+        assert "FAIL" not in out
+
+
+class TestAblations:
+    def test_speed_ablation(self):
+        rows = ablations.speed_ablation(size=400, trace_packets=2000)
+        assert rows[0].speed == 0 and rows[1].speed == 1
+        assert rows[0].bytes_used <= rows[1].bytes_used
+        assert rows[1].mean_occupancy <= rows[0].mean_occupancy + 1e-9
+
+    def test_cut_ladder(self):
+        rows = ablations.cut_ladder_ablation(size=400)
+        paper = next(r for r in rows if r.start == 32 and r.cap == 256)
+        original = next(r for r in rows if r.start == 2 and r.cap == 256)
+        assert paper.build_energy_j < original.build_energy_j
+
+    def test_binth_spfac(self):
+        rows = ablations.binth_spfac_ablation(size=400, trace_packets=2000)
+        assert len(rows) == 12
+        # At fixed binth, higher spfac never hurts worst-case cycles.
+        for binth in (8, 16, 30, 60):
+            group = sorted(
+                (r for r in rows if r.binth == binth), key=lambda r: r.spfac
+            )
+            assert group[-1].worst_cycles <= group[0].worst_cycles
+
+
+class TestPipeline:
+    def test_workload_cached(self, pipe):
+        a = pipe.workload("acl1", 60)
+        b = pipe.workload("acl1", 60)
+        assert a is b
+
+    def test_quick_grids_are_subsets(self, pipe):
+        full = Pipeline(quick=False)
+        assert set(pipe.acl1_sizes()) <= set(full.acl1_sizes())
+        for fam in ("acl1", "fw1", "ipc1"):
+            assert set(pipe.table4_sizes(fam)) <= set(full.table4_sizes(fam))

@@ -1,0 +1,195 @@
+"""Tests for HiCuts — original and hardware-modified variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import generate_ruleset, generate_trace
+from repro.algorithms import LinearSearchClassifier, OpCounter, build_hicuts
+from repro.algorithms.hicuts import HW_MAX_CUTS, HW_MIN_CUTS, HiCutsConfig
+from repro.core.errors import ConfigError
+
+
+class TestFigure1:
+    """The paper's Figure 1 example (binth 3, spfac 2)."""
+
+    def test_root_cut(self, demo_ruleset):
+        tree = build_hicuts(
+            demo_ruleset, binth=3, spfac=2, redundancy_elimination=False
+        )
+        assert tree.root.cut_dims == (0,)
+        assert tree.root.cut_counts == (4,)
+
+    def test_second_level_cut(self, demo_ruleset):
+        tree = build_hicuts(
+            demo_ruleset, binth=3, spfac=2, redundancy_elimination=False
+        )
+        internal_children = [
+            tree.nodes[int(c)]
+            for c in set(map(int, tree.root.children))
+            if int(c) >= 0 and not tree.nodes[int(c)].is_leaf
+        ]
+        assert len(internal_children) == 1
+        sub = internal_children[0]
+        assert sub.cut_dims == (4,)
+        assert sub.cut_counts == (2,)
+
+    def test_figure1_leaves(self, demo_ruleset):
+        tree = build_hicuts(
+            demo_ruleset, binth=3, spfac=2, redundancy_elimination=False
+        )
+        leaf_sets = sorted(
+            tuple(int(r) for r in n.rule_ids)
+            for n in tree.nodes if n.is_leaf
+        )
+        # Figure 1: {7,8,9}, {1,3}, {0,2,4} (pre-split), split into
+        # {0,4,6} and {0,2,5}.
+        assert (0, 2, 5) in leaf_sets and (0, 4, 6) in leaf_sets
+        assert (7, 8, 9) in leaf_sets and (1, 3) in leaf_sets
+        assert all(len(s) <= 3 for s in leaf_sets)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("hw_mode", [False, True])
+    @pytest.mark.parametrize("family", ["acl1", "fw1", "ipc1"])
+    def test_oracle_equality(self, family, hw_mode):
+        rs = generate_ruleset(family, 250, seed=13)
+        trace = generate_trace(rs, 1500, seed=14, background_fraction=0.1)
+        binth = 30 if hw_mode else 16
+        tree = build_hicuts(rs, binth=binth, spfac=4, hw_mode=hw_mode)
+        want = LinearSearchClassifier(rs).classify_trace(trace)
+        got = tree.batch_lookup(trace).match
+        assert np.array_equal(got, want)
+
+    def test_single_rule(self):
+        rs = generate_ruleset("acl1", 1, seed=1)
+        tree = build_hicuts(rs, binth=16)
+        assert tree.root.is_leaf
+        assert list(tree.root.rule_ids) == [0]
+
+    def test_no_elimination_still_correct(self, acl_small, acl_small_trace,
+                                          acl_small_oracle):
+        tree = build_hicuts(
+            acl_small, binth=16, spfac=4, redundancy_elimination=False
+        )
+        got = tree.batch_lookup(acl_small_trace).match
+        assert np.array_equal(got, acl_small_oracle)
+
+
+class TestStructureInvariants:
+    def test_hw_cut_counts_are_powers_of_two_within_cap(self, acl_medium):
+        tree = build_hicuts(acl_medium, binth=30, spfac=4, hw_mode=True)
+        for node in tree.nodes:
+            if node.is_leaf:
+                continue
+            assert len(node.cut_dims) == 1  # HiCuts cuts one dimension
+            (count,) = node.cut_counts
+            assert count & (count - 1) == 0
+            assert count <= HW_MAX_CUTS
+            assert node.n_children <= 256
+
+    def test_hw_internal_regions_grid_aligned(self, acl_medium):
+        """Internal nodes must stay power-of-two aligned (the mask/shift
+        datapath requires it); merged leaves may take hull regions."""
+        tree = build_hicuts(acl_medium, binth=30, spfac=4, hw_mode=True)
+        for node in tree.nodes:
+            if node.is_leaf:
+                continue
+            assert node.grid_region is not None
+            for glo, ghi in node.grid_region:
+                span = ghi - glo + 1
+                assert span & (span - 1) == 0
+                assert glo % span == 0
+
+    def test_hw_starts_at_32_cuts(self, acl_medium):
+        tree = build_hicuts(acl_medium, binth=30, spfac=4, hw_mode=True)
+        (count,) = tree.root.cut_counts
+        assert count >= HW_MIN_CUTS
+
+    def test_leaves_respect_binth_or_unsplittable(self, acl_medium):
+        tree = build_hicuts(acl_medium, binth=16, spfac=4)
+        stats = tree.stats()
+        # Software acl1 trees can always split down to binth.
+        assert stats.max_leaf_rules <= 16
+
+    def test_software_mode_unbounded_cuts_allowed(self, acl_medium):
+        tree = build_hicuts(acl_medium, binth=16, spfac=4)
+        (count,) = tree.root.cut_counts
+        assert count >= 2
+
+    def test_determinism(self, acl_small):
+        t1 = build_hicuts(acl_small, binth=16, spfac=4)
+        t2 = build_hicuts(acl_small, binth=16, spfac=4)
+        assert len(t1) == len(t2)
+        for a, b in zip(t1.nodes, t2.nodes):
+            assert a.kind == b.kind
+            assert a.cut_dims == b.cut_dims
+            assert a.cut_counts == b.cut_counts
+            assert np.array_equal(a.rule_ids, b.rule_ids)
+
+
+class TestSpfacEffect:
+    def test_larger_spfac_allows_more_cuts(self, acl_medium):
+        wide = build_hicuts(acl_medium, binth=16, spfac=8)
+        narrow = build_hicuts(acl_medium, binth=16, spfac=1)
+        assert wide.root.cut_counts[0] >= narrow.root.cut_counts[0]
+
+    def test_larger_spfac_fewer_memory_accesses(self, acl_medium):
+        wide = build_hicuts(acl_medium, binth=16, spfac=8)
+        narrow = build_hicuts(acl_medium, binth=16, spfac=1)
+        assert (
+            wide.stats().worst_case_sw_accesses
+            <= narrow.stats().worst_case_sw_accesses
+        )
+
+
+class TestConfig:
+    def test_bad_binth(self, acl_small):
+        with pytest.raises(ConfigError):
+            build_hicuts(acl_small, binth=0)
+
+    def test_bad_spfac(self, acl_small):
+        with pytest.raises(ConfigError):
+            build_hicuts(acl_small, spfac=-1)
+
+    def test_bad_start_cuts(self):
+        cfg = HiCutsConfig(start_cuts=3)
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_cap_below_start(self):
+        cfg = HiCutsConfig(start_cuts=32, max_cuts=16)
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_defaults_by_mode(self):
+        assert HiCutsConfig(hw_mode=False).resolved_start() == 2
+        assert HiCutsConfig(hw_mode=True).resolved_start() == 32
+        assert HiCutsConfig(hw_mode=True).resolved_cap() == 256
+
+
+class TestBuildOps:
+    def test_ops_counted(self, acl_small):
+        ops = OpCounter()
+        build_hicuts(acl_small, binth=16, spfac=4, ops=ops)
+        assert ops.total() > 0
+        assert ops["alloc"] > 0
+        assert ops["mem_read"] > 0
+
+    def test_hw_build_cheaper_than_sw(self, acl_medium):
+        """The Section 3 claim behind Table 3: starting at 32 cuts saves
+        build computation."""
+        sw_ops, hw_ops = OpCounter(), OpCounter()
+        build_hicuts(acl_medium, binth=16, spfac=4, ops=sw_ops)
+        build_hicuts(acl_medium, binth=30, spfac=4, hw_mode=True, ops=hw_ops)
+        assert hw_ops["div"] == 0  # no divider in the hardware flow
+        assert sw_ops["div"] > 0
+
+    def test_ops_grow_with_ruleset(self):
+        small, large = OpCounter(), OpCounter()
+        a = generate_ruleset("acl1", 100, seed=3)
+        b = generate_ruleset("acl1", 800, seed=3)
+        build_hicuts(a, binth=16, ops=small)
+        build_hicuts(b, binth=16, ops=large)
+        assert large.total() > small.total()

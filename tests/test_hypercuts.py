@@ -1,0 +1,167 @@
+"""Tests for HyperCuts — original and hardware-modified variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import generate_ruleset, generate_trace
+from repro.algorithms import LinearSearchClassifier, OpCounter, build_hypercuts
+from repro.algorithms.hypercuts import HW_MIN_CUTS, HyperCutsConfig
+from repro.core.errors import ConfigError
+
+
+class TestFigure3:
+    """The paper's Figure 3 example (binth 3, spfac 2, no extra
+    heuristics — the figure cuts the full region)."""
+
+    @pytest.fixture()
+    def fig3(self, demo_ruleset):
+        return build_hypercuts(
+            demo_ruleset, binth=3, spfac=2,
+            redundancy_elimination=False, region_compaction=False,
+            push_common=False,
+        )
+
+    def test_root_cut_2x2_fields_0_and_4(self, fig3):
+        assert fig3.root.cut_dims == (0, 4)
+        assert fig3.root.cut_counts == (2, 2)
+
+    def test_all_children_are_leaves(self, fig3):
+        for c in fig3.root.children:
+            assert fig3.nodes[int(c)].is_leaf
+
+    def test_leaf_contents(self, fig3):
+        leaf_sets = sorted(
+            tuple(int(r) for r in fig3.nodes[int(c)].rule_ids)
+            for c in set(map(int, fig3.root.children))
+        )
+        assert leaf_sets == [(0, 2, 5), (0, 4, 6), (1, 3), (7, 8, 9)]
+
+    def test_candidate_dims_rule(self, demo_ruleset):
+        """Section 2.2: dims with distinct specs >= mean (9,7,4,3,10 ->
+        mean 6.6 -> dims 0, 1, 4)."""
+        counts = demo_ruleset.arrays.distinct_range_counts(np.arange(10))
+        mean = sum(counts) / 5
+        assert [d for d, c in enumerate(counts) if c >= mean] == [0, 1, 4]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("hw_mode", [False, True])
+    @pytest.mark.parametrize("family", ["acl1", "fw1", "ipc1"])
+    def test_oracle_equality(self, family, hw_mode):
+        rs = generate_ruleset(family, 250, seed=23)
+        trace = generate_trace(rs, 1500, seed=24, background_fraction=0.1)
+        binth = 30 if hw_mode else 16
+        tree = build_hypercuts(rs, binth=binth, spfac=4, hw_mode=hw_mode)
+        want = LinearSearchClassifier(rs).classify_trace(trace)
+        got = tree.batch_lookup(trace).match
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"region_compaction": False},
+            {"push_common": False},
+            {"region_compaction": False, "push_common": False},
+            {"redundancy_elimination": False},
+        ],
+    )
+    def test_heuristic_toggles_preserve_semantics(
+        self, acl_small, acl_small_trace, acl_small_oracle, kwargs
+    ):
+        tree = build_hypercuts(acl_small, binth=16, spfac=4, **kwargs)
+        got = tree.batch_lookup(acl_small_trace).match
+        assert np.array_equal(got, acl_small_oracle)
+
+    def test_compaction_with_background_traffic(self, acl_small):
+        """Packets outside compacted regions must dead-end, not crash."""
+        trace = generate_trace(acl_small, 2000, seed=31, background_fraction=0.5)
+        tree = build_hypercuts(acl_small, binth=16, spfac=4)
+        want = LinearSearchClassifier(acl_small).classify_trace(trace)
+        assert np.array_equal(tree.batch_lookup(trace).match, want)
+
+
+class TestPushCommon:
+    def test_pushed_rules_exist_for_overlapping_sets(self, fw_small):
+        tree = build_hypercuts(fw_small, binth=8, spfac=4, push_common=True)
+        pushed = sum(int(n.pushed.size) for n in tree.nodes)
+        leaf_refs = tree.stats().total_leaf_rule_refs
+        no_push = build_hypercuts(fw_small, binth=8, spfac=4, push_common=False)
+        # Pushing reduces replicated leaf storage when it fires.
+        if pushed:
+            assert leaf_refs <= no_push.stats().total_leaf_rule_refs
+
+    def test_hw_mode_never_pushes(self, acl_small):
+        tree = build_hypercuts(acl_small, binth=30, spfac=4, hw_mode=True)
+        assert all(n.pushed.size == 0 for n in tree.nodes)
+
+
+class TestHwInvariants:
+    def test_children_bounded_by_eq4(self, acl_medium):
+        for spfac in (1, 2, 3, 4):
+            tree = build_hypercuts(
+                acl_medium, binth=30, spfac=spfac, hw_mode=True
+            )
+            cap = 1 << (4 + spfac)
+            for node in tree.nodes:
+                if not node.is_leaf:
+                    n_children = 1
+                    for c in node.cut_counts:
+                        n_children *= c
+                    assert n_children <= cap
+                    assert n_children <= 256
+
+    def test_root_has_at_least_32_cuts(self, acl_medium):
+        tree = build_hypercuts(acl_medium, binth=30, spfac=4, hw_mode=True)
+        n_children = 1
+        for c in tree.root.cut_counts:
+            n_children *= c
+        assert n_children >= HW_MIN_CUTS
+
+    def test_hw_mode_rejects_compaction(self):
+        cfg = HyperCutsConfig(hw_mode=True, region_compaction=True, spfac=4)
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_hw_mode_requires_integer_spfac(self):
+        cfg = HyperCutsConfig(hw_mode=True, spfac=2.5)
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_internal_grid_regions_stay_aligned(self, acl_medium):
+        tree = build_hypercuts(acl_medium, binth=30, spfac=4, hw_mode=True)
+        for node in tree.nodes:
+            if node.is_leaf:
+                continue
+            assert node.grid_region is not None
+            for glo, ghi in node.grid_region:
+                span = ghi - glo + 1
+                assert span & (span - 1) == 0
+                assert glo % span == 0
+
+
+class TestHeuristicEffects:
+    def test_compaction_reduces_or_equals_memory(self, acl_small):
+        with_c = build_hypercuts(acl_small, binth=16, spfac=4,
+                                 region_compaction=True)
+        without = build_hypercuts(acl_small, binth=16, spfac=4,
+                                  region_compaction=False)
+        # Compaction cuts only the occupied region, so trees are no worse
+        # (allow a little slack for heuristic noise).
+        assert (
+            with_c.software_memory_bytes()
+            <= without.software_memory_bytes() * 1.25
+        )
+
+    def test_multi_dim_cuts_happen(self, acl_medium):
+        tree = build_hypercuts(acl_medium, binth=16, spfac=4)
+        assert any(
+            len(n.cut_dims) > 1 for n in tree.nodes if not n.is_leaf
+        ), "HyperCuts should cut multiple dimensions somewhere"
+
+    def test_build_ops_counted(self, acl_small):
+        ops = OpCounter()
+        build_hypercuts(acl_small, binth=16, spfac=4, ops=ops)
+        assert ops.total() > 0
+        assert ops["div"] > 0  # compaction + index division in sw mode

@@ -1,0 +1,166 @@
+"""Tests for incremental updates (insert/remove on live trees)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import generate_ruleset, generate_trace
+from repro.algorithms import LinearSearchClassifier
+from repro.algorithms.incremental import IncrementalClassifier
+from repro.core.errors import BuildError
+from repro.core.rules import Rule
+from repro.hw import build_memory_image, Accelerator
+
+
+def oracle_match(inc, trace):
+    """Linear search over the live rules, mapped back to stable ids."""
+    live = inc.live_ruleset()
+    compact = LinearSearchClassifier(live).classify_trace(trace)
+    # live index -> stable id
+    stable = [i for i in range(len(inc._ruleset)) if inc._live[i]]
+    out = np.full_like(compact, -1)
+    hit = compact >= 0
+    out[hit] = np.asarray(stable, dtype=np.int64)[compact[hit]]
+    return out
+
+
+@pytest.fixture()
+def inc():
+    rs = generate_ruleset("acl1", 300, seed=91)
+    return IncrementalClassifier(rs, algorithm="hicuts", binth=30, spfac=4)
+
+
+@pytest.fixture()
+def new_rules():
+    return list(generate_ruleset("acl1", 30, seed=92).rules)
+
+
+class TestInsert:
+    def test_inserted_rule_becomes_matchable(self, inc):
+        rule = Rule.from_5tuple(
+            (0xDEADBEEF, 32), (0x0BADF00D, 32), (7777, 7777), (8888, 8888),
+            (6, 1),
+        )
+        header = (0xDEADBEEF, 0x0BADF00D, 7777, 8888, 6)
+        before = inc.classify(header)
+        inc.insert(rule)
+        after = inc.classify(header)
+        assert after == len(inc._ruleset) - 1 or after == before != -1
+
+    def test_semantics_after_many_inserts(self, inc, new_rules):
+        rs = inc.live_ruleset()
+        trace = generate_trace(rs, 1500, seed=93, background_fraction=0.2)
+        for rule in new_rules:
+            inc.insert(rule)
+        got = inc.classify_trace(trace)
+        want = oracle_match(inc, trace)
+        assert np.array_equal(got, want)
+
+    def test_leaf_split_on_overflow(self):
+        rs = generate_ruleset("acl1", 100, seed=94)
+        inc = IncrementalClassifier(rs, binth=8, spfac=4)
+        stats_total = 0
+        for rule in generate_ruleset("acl1", 60, seed=95).rules:
+            st = inc.insert(rule)
+            stats_total += st.subtrees_rebuilt
+        # With binth=8 and 60 inserts some leaf must have overflowed.
+        assert stats_total > 0
+        trace = generate_trace(inc.live_ruleset(), 800, seed=96)
+        assert np.array_equal(inc.classify_trace(trace), oracle_match(inc, trace))
+
+    def test_insert_into_empty_region_creates_leaf(self):
+        # One highly specific ruleset: most of the space is EMPTY children.
+        rs = generate_ruleset("acl1", 60, seed=97)
+        inc = IncrementalClassifier(rs, binth=30, spfac=4)
+        wild = Rule.from_5tuple((0, 0), (0, 0), (0, 65535), (0, 65535), (0, 0))
+        st = inc.insert(wild)
+        assert st.new_leaves > 0
+        # The wildcard must now match everything nothing else matches.
+        assert inc.classify((1, 2, 3, 4, 250)) == len(inc._ruleset) - 1
+
+    def test_copy_on_write_protects_merged_siblings(self):
+        """Inserting a narrow rule must not leak it into merged siblings."""
+        rs = generate_ruleset("acl1", 400, seed=98)
+        inc = IncrementalClassifier(rs, binth=30, spfac=4)
+        narrow = Rule.from_5tuple(
+            (0x11223344, 32), (0x55667788, 32), (1, 1), (2, 2), (17, 1)
+        )
+        inc.insert(narrow)
+        trace = generate_trace(inc.live_ruleset(), 2000, seed=99,
+                               background_fraction=0.3)
+        assert np.array_equal(inc.classify_trace(trace), oracle_match(inc, trace))
+
+
+class TestRemove:
+    def test_removed_rule_never_matches(self, inc):
+        arrays = inc.live_ruleset().arrays
+        header = tuple(int(arrays.lo[d, 0]) for d in range(5))
+        assert inc.classify(header) == 0
+        inc.remove(0)
+        assert inc.classify(header) != 0
+
+    def test_semantics_after_mixed_updates(self, inc, new_rules):
+        for rule in new_rules[:10]:
+            inc.insert(rule)
+        for rid in (3, 50, 120, 301):
+            inc.remove(rid)
+        trace = generate_trace(inc.live_ruleset(), 1500, seed=100,
+                               background_fraction=0.2)
+        assert np.array_equal(inc.classify_trace(trace), oracle_match(inc, trace))
+
+    def test_double_remove_rejected(self, inc):
+        inc.remove(5)
+        with pytest.raises(BuildError):
+            inc.remove(5)
+        with pytest.raises(BuildError):
+            inc.remove(10_000)
+
+    def test_live_count(self, inc):
+        n0 = inc.n_live_rules
+        inc.remove(1)
+        assert inc.n_live_rules == n0 - 1
+
+
+class TestRebuild:
+    def test_rebuild_compacts_and_preserves_semantics(self, inc, new_rules):
+        for rule in new_rules[:5]:
+            inc.insert(rule)
+        inc.remove(2)
+        trace = generate_trace(inc.live_ruleset(), 1000, seed=101)
+        before = oracle_match(inc, trace)
+        want_live = LinearSearchClassifier(inc.live_ruleset()).classify_trace(trace)
+        inc.rebuild()
+        got = inc.classify_trace(trace)
+        # After compaction ids are the live ruleset's own indices.
+        assert np.array_equal(got, want_live)
+        assert inc.n_live_rules == len(inc._ruleset)
+
+
+class TestHardwareResync:
+    def test_updated_tree_still_encodes_and_runs(self, inc, new_rules):
+        for rule in new_rules[:8]:
+            inc.insert(rule)
+        inc.remove(7)
+        image = build_memory_image(inc.tree, speed=1)
+        trace = generate_trace(inc.live_ruleset(), 600, seed=102)
+        run = Accelerator(image).run_trace(trace)
+        assert np.array_equal(run.match, oracle_match(inc, trace))
+
+
+class TestHyperCutsMode:
+    def test_hypercuts_incremental(self):
+        rs = generate_ruleset("ipc1", 250, seed=103)
+        inc = IncrementalClassifier(rs, algorithm="hypercuts", binth=30,
+                                    spfac=4)
+        for rule in generate_ruleset("ipc1", 20, seed=104).rules:
+            inc.insert(rule)
+        inc.remove(11)
+        trace = generate_trace(inc.live_ruleset(), 1000, seed=105,
+                               background_fraction=0.2)
+        assert np.array_equal(inc.classify_trace(trace), oracle_match(inc, trace))
+
+    def test_unknown_algorithm(self):
+        rs = generate_ruleset("acl1", 50, seed=106)
+        with pytest.raises(BuildError):
+            IncrementalClassifier(rs, algorithm="nope")

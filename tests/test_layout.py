@@ -1,0 +1,194 @@
+"""Tests for the memory layout (Section 3's node rearrangement)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import generate_ruleset
+from repro.algorithms import build_hicuts, build_hypercuts
+from repro.core.errors import CapacityError, ConfigError
+from repro.core.rules import DEMO_SCHEMA
+from repro.core.ruleset import RuleSet
+from repro.core.rules import make_demo_ruleset
+from repro.hw import (
+    DEFAULT_CAPACITY_WORDS,
+    RULES_PER_WORD,
+    build_memory_image,
+    measure_layout,
+)
+from repro.hw.memory import MemoryArray
+
+
+class TestPlacementInvariants:
+    def test_internal_nodes_first(self, hw_image_small):
+        img = hw_image_small
+        max_internal = max(
+            (p.addr for p in img.placements.values() if not p.is_leaf),
+            default=-1,
+        )
+        min_leaf = min(
+            (p.addr for p in img.placements.values()
+             if p.is_leaf and p.n_rules > 0),
+            default=1 << 30,
+        )
+        assert max_internal < min_leaf
+        assert max_internal == img.n_internal_words - 1
+
+    def test_root_at_word_zero(self, hw_image_small):
+        assert hw_image_small.placements[0].addr == 0
+
+    def test_speed1_no_straddle_unless_pos0(self, hw_tree_small):
+        img = build_memory_image(hw_tree_small, speed=1)
+        for p in img.placements.values():
+            if p.is_leaf and p.n_rules > 0 and p.pos > 0:
+                # eq (6): a mid-word leaf must fit entirely.
+                assert p.pos + p.n_rules <= RULES_PER_WORD
+
+    def test_speed0_contiguous(self, hw_tree_small):
+        img = build_memory_image(hw_tree_small, speed=0)
+        slots = []
+        for p in sorted(
+            (p for p in img.placements.values() if p.is_leaf and p.n_rules),
+            key=lambda p: (p.addr, p.pos),
+        ):
+            slots.append((p.addr * RULES_PER_WORD + p.pos, p.n_rules))
+        slots.sort()
+        for (start, n), (nxt, _) in zip(slots, slots[1:]):
+            assert start + n == nxt, "speed=0 leaves must pack contiguously"
+
+    def test_speed0_never_larger_than_speed1(self, hw_tree_small):
+        dense = build_memory_image(hw_tree_small, speed=0)
+        fast = build_memory_image(hw_tree_small, speed=1)
+        assert dense.words_used <= fast.words_used
+
+    def test_bytes_used_is_words_times_600(self, hw_image_small):
+        assert hw_image_small.bytes_used == hw_image_small.words_used * 600
+
+    def test_words_spanned(self, hw_tree_small):
+        img = build_memory_image(hw_tree_small, speed=1)
+        for p in img.placements.values():
+            if p.is_leaf and p.n_rules:
+                expect = (p.pos + p.n_rules - 1) // RULES_PER_WORD + 1
+                assert p.words_spanned == expect
+
+
+class TestCapacity:
+    def test_capacity_error(self, acl_medium):
+        tree = build_hicuts(acl_medium, binth=30, spfac=4, hw_mode=True)
+        need = measure_layout(tree, speed=1).words_used
+        with pytest.raises(CapacityError):
+            build_memory_image(tree, speed=1, capacity_words=need - 1)
+
+    def test_default_capacity_is_paper_design(self):
+        assert DEFAULT_CAPACITY_WORDS == 1024
+
+    def test_measure_matches_build(self, hw_tree_small):
+        meas = measure_layout(hw_tree_small, speed=1)
+        img = build_memory_image(hw_tree_small, speed=1)
+        assert meas.words_used == img.words_used
+        assert meas.bytes_used == img.bytes_used
+        assert meas.worst_case_occupancy == img.worst_case_occupancy()
+        assert meas.worst_case_cycles == img.worst_case_cycles()
+
+    def test_fits_helper(self, hw_tree_small):
+        meas = measure_layout(hw_tree_small, speed=1)
+        assert meas.fits(1024)
+        assert not meas.fits(meas.words_used - 1)
+
+
+class TestModeRestrictions:
+    def test_software_tree_rejected(self, acl_small):
+        tree = build_hicuts(acl_small, binth=16, spfac=4, hw_mode=False)
+        with pytest.raises(ConfigError):
+            build_memory_image(tree)
+
+    def test_demo_schema_rejected(self, demo_ruleset):
+        # Grid-mode tree on the 8-bit demo schema is buildable but not
+        # hardware-encodable (the accelerator is a 5-tuple device).
+        tree = build_hicuts(demo_ruleset, binth=3, spfac=2, hw_mode=True)
+        with pytest.raises(ConfigError):
+            build_memory_image(tree)
+
+    def test_bad_speed(self, hw_tree_small):
+        with pytest.raises(ConfigError):
+            build_memory_image(hw_tree_small, speed=2)
+
+
+class TestRootWrap:
+    def test_tiny_ruleset_root_leaf(self):
+        rs = generate_ruleset("acl1", 5, seed=2)
+        tree = build_hicuts(rs, binth=30, spfac=4, hw_mode=True)
+        img = build_memory_image(tree, speed=1)
+        if tree.root.is_leaf:
+            assert img.root_wrapped
+            assert img.n_internal_words == 1
+            # Synthetic root at word 0 decodes as an internal node whose
+            # entries point at the leaf.
+            from repro.hw.encoding import decode_internal_node
+
+            dec = decode_internal_node(img.memory.read(0))
+            assert dec.entries[0].is_leaf
+            assert dec.entries[0].addr == img.placements[0].addr
+
+
+class TestWorstCase:
+    def test_worst_case_vs_brute_force(self, acl_small):
+        tree = build_hicuts(acl_small, binth=30, spfac=4, hw_mode=True)
+        img = build_memory_image(tree, speed=1)
+
+        best = 0
+        def walk(nid, internal_after_root):
+            nonlocal best
+            node = tree.nodes[nid]
+            if node.is_leaf:
+                words = img.placements[nid].words_spanned if node.rule_ids.size else 0
+                best = max(best, internal_after_root + words)
+                return
+            for c in set(int(x) for x in node.children):
+                if c >= 0:
+                    walk(c, internal_after_root + (0 if nid == 0 else 1))
+
+        # Count this node's own fetch when it is not the root.
+        def walk2(nid, fetches):
+            nonlocal best
+            node = tree.nodes[nid]
+            if node.is_leaf:
+                words = img.placements[nid].words_spanned if node.rule_ids.size else 0
+                best = max(best, fetches + words)
+                return
+            for c in set(int(x) for x in node.children):
+                if c >= 0:
+                    walk2(c, fetches + (1 if nid != 0 else 0))
+
+        best = 0
+        walk2(0, 0)
+        assert img.worst_case_occupancy() == max(best, 1)
+        assert img.worst_case_cycles() == max(best, 1) + 1
+
+
+class TestMemoryArray:
+    def test_write_read(self):
+        arr = MemoryArray(4)
+        arr.write(2, 12345)
+        assert arr.read(2) == 12345
+        assert 2 in arr and 1 not in arr
+        assert arr.words_used == 1
+        assert arr.bytes_used == 600
+
+    def test_bounds(self):
+        arr = MemoryArray(4)
+        with pytest.raises(CapacityError):
+            arr.write(4, 0)
+        with pytest.raises(CapacityError):
+            arr.read(0)
+
+    def test_serialisation_roundtrip(self, hw_image_small):
+        blob = hw_image_small.memory.to_bytes()
+        loaded = MemoryArray.from_bytes(
+            blob, hw_image_small.memory.capacity_words
+        )
+        assert loaded.words_used == hw_image_small.memory.words_used
+        for addr in range(hw_image_small.words_used):
+            if addr in hw_image_small.memory:
+                assert loaded.read(addr) == hw_image_small.memory.read(addr)

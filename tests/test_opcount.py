@@ -1,0 +1,61 @@
+"""Tests for the operation counter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.opcount import CATEGORIES, NULL_COUNTER, NullCounter, OpCounter
+
+
+class TestOpCounter:
+    def test_categories_initialised(self):
+        ops = OpCounter()
+        assert set(ops.counts) == set(CATEGORIES)
+        assert ops.total() == 0
+
+    def test_add_and_total(self):
+        ops = OpCounter()
+        ops.add("alu", 5)
+        ops.add("alu")
+        ops.add("mem_read", 2.7)  # truncates like the builders' bulk adds
+        assert ops["alu"] == 6
+        assert ops["mem_read"] == 2
+        assert ops.total() == 8
+
+    def test_unknown_category(self):
+        with pytest.raises(KeyError):
+            OpCounter().add("gpu")
+
+    def test_merge(self):
+        a, b = OpCounter(), OpCounter()
+        a.add("alu", 1)
+        b.add("alu", 2)
+        b.add("div", 3)
+        a.merge(b)
+        assert a["alu"] == 3 and a["div"] == 3
+
+    def test_copy_independent(self):
+        a = OpCounter()
+        a.add("alu", 1)
+        b = a.copy()
+        b.add("alu", 1)
+        assert a["alu"] == 1 and b["alu"] == 2
+
+    def test_reset(self):
+        ops = OpCounter()
+        ops.add("branch", 9)
+        ops.reset()
+        assert ops.total() == 0
+
+    def test_as_dict_is_copy(self):
+        ops = OpCounter()
+        d = ops.as_dict()
+        d["alu"] = 99
+        assert ops["alu"] == 0
+
+
+class TestNullCounter:
+    def test_noops(self):
+        NULL_COUNTER.add("anything", 5)
+        NULL_COUNTER.merge(object())
+        assert isinstance(NULL_COUNTER, NullCounter)

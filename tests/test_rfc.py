@@ -1,0 +1,72 @@
+"""Tests for the RFC baseline (Recursive Flow Classification)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import generate_ruleset, generate_trace
+from repro.algorithms import LinearSearchClassifier, OpCounter
+from repro.algorithms.rfc import CHUNKS, REDUCTION_TREE, build_rfc
+from repro.core.errors import CapacityError
+
+
+class TestStructure:
+    def test_chunk_layout_covers_five_tuple(self):
+        # 4 IP halves + 2 ports + protocol.
+        assert len(CHUNKS) == 7
+        widths = [w for _, _, w in CHUNKS]
+        assert widths == [16, 16, 16, 16, 16, 16, 8]
+
+    def test_reduction_tree_terminates_in_one_table(self):
+        assert len(REDUCTION_TREE[-1]) == 1
+
+    def test_memory_accesses_fixed(self, acl_small):
+        rfc = build_rfc(acl_small)
+        assert rfc.memory_accesses_per_lookup() == 13
+
+    def test_memory_grows_with_rules(self):
+        small = build_rfc(generate_ruleset("acl1", 100, seed=4))
+        large = build_rfc(generate_ruleset("acl1", 600, seed=4))
+        assert large.memory_bytes() > small.memory_bytes()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("family", ["acl1", "fw1", "ipc1"])
+    def test_oracle_equality(self, family):
+        rs = generate_ruleset(family, 200, seed=61)
+        rfc = build_rfc(rs)
+        trace = generate_trace(rs, 1500, seed=62, background_fraction=0.2)
+        want = LinearSearchClassifier(rs).classify_trace(trace)
+        got = rfc.classify_trace(trace)
+        assert np.array_equal(got, want)
+
+    def test_single_lookup_matches_batch(self, acl_small):
+        rfc = build_rfc(acl_small)
+        trace = generate_trace(acl_small, 64, seed=63)
+        batch = rfc.classify_trace(trace)
+        for i, header in enumerate(trace.headers):
+            assert rfc.classify(header) == batch[i]
+
+    def test_lookup_charges_table_reads(self, acl_small):
+        rfc = build_rfc(acl_small)
+        ops = OpCounter()
+        rfc.classify((0, 0, 0, 0, 6), ops=ops)
+        assert ops["mem_read"] == rfc.memory_accesses_per_lookup()
+
+    def test_no_match(self):
+        rs = generate_ruleset("acl1", 50, seed=64)
+        rfc = build_rfc(rs)
+        lin = LinearSearchClassifier(rs)
+        header = (1, 2, 3, 4, 254)  # protocol 254 matches nothing here
+        assert rfc.classify(header) == lin.classify(header)
+
+
+class TestCapacity:
+    def test_explosion_guard(self, acl_medium):
+        with pytest.raises(CapacityError):
+            build_rfc(acl_medium, max_table_entries=100_000)
+
+    def test_wrong_schema(self, demo_ruleset):
+        with pytest.raises(CapacityError):
+            build_rfc(demo_ruleset)

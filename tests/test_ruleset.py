@@ -1,0 +1,113 @@
+"""Tests for repro.core.ruleset: container semantics and ClassBench I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import RuleFormatError
+from repro.core.packet import PacketTrace
+from repro.core.rules import FIVE_TUPLE, Rule
+from repro.core.ruleset import RuleSet
+
+
+def _mk(src=(0, 0), dst=(0, 0), sport=(0, 65535), dport=(0, 65535), proto=(0, 0)):
+    return Rule.from_5tuple(src, dst, sport, dport, proto)
+
+
+class TestRuleSet:
+    def test_priorities_renumbered(self):
+        rules = [_mk(dport=(80, 80)), _mk(dport=(443, 443))]
+        rs = RuleSet(rules, FIVE_TUPLE)
+        assert [r.priority for r in rs] == [0, 1]
+
+    def test_first_match_semantics(self):
+        rs = RuleSet(
+            [_mk(dport=(80, 80)), _mk()],  # specific then catch-all
+            FIVE_TUPLE,
+        )
+        assert rs.classify((0, 0, 0, 80, 6)) == 0
+        assert rs.classify((0, 0, 0, 81, 6)) == 1
+
+    def test_no_match(self):
+        rs = RuleSet([_mk(proto=(6, 1))], FIVE_TUPLE)
+        assert rs.classify((0, 0, 0, 0, 17)) == -1
+
+    def test_classify_trace(self):
+        rs = RuleSet([_mk(dport=(80, 80)), _mk()], FIVE_TUPLE)
+        headers = np.array(
+            [[0, 0, 0, 80, 6], [0, 0, 0, 22, 6]], dtype=np.uint32
+        )
+        out = rs.classify_trace(PacketTrace(headers, FIVE_TUPLE))
+        assert list(out) == [0, 1]
+
+    def test_append_and_remove(self):
+        rs = RuleSet([_mk(dport=(80, 80))], FIVE_TUPLE)
+        rs.append(_mk(dport=(443, 443)))
+        assert len(rs) == 2
+        assert rs.classify((0, 0, 0, 443, 6)) == 1
+        removed = rs.remove(0)
+        assert removed.ranges[3] == (80, 80)
+        # Remaining rule renumbered to priority 0.
+        assert rs.classify((0, 0, 0, 443, 6)) == 0
+        assert rs.classify((0, 0, 0, 80, 6)) == -1
+
+    def test_subset(self):
+        rs = RuleSet([_mk(dport=(p, p)) for p in (80, 443, 53)], FIVE_TUPLE)
+        sub = rs.subset(2)
+        assert len(sub) == 2
+        assert sub.classify((0, 0, 0, 53, 6)) == -1
+
+    def test_wildcard_fraction(self):
+        rs = RuleSet([_mk(), _mk(src=(1, 32))], FIVE_TUPLE)
+        assert rs.wildcard_fraction(0) == 0.5
+
+    def test_storage_bytes(self):
+        rs = RuleSet([_mk()] , FIVE_TUPLE)
+        assert rs.storage_bytes() == 20
+
+
+class TestClassBenchIO:
+    def test_roundtrip(self, tmp_path, acl_small):
+        path = str(tmp_path / "rules.txt")
+        acl_small.save(path)
+        loaded = RuleSet.load(path)
+        assert len(loaded) == len(acl_small)
+        for a, b in zip(acl_small, loaded):
+            assert a.ranges == b.ranges
+
+    def test_parse_canonical_line(self, tmp_path):
+        path = tmp_path / "f.txt"
+        path.write_text(
+            "@192.168.1.0/24\t10.0.0.0/8\t0 : 65535\t1024 : 65535\t0x06/0xFF\n"
+        )
+        rs = RuleSet.load(str(path))
+        assert len(rs) == 1
+        rule = rs[0]
+        assert rule.ranges[0] == (0xC0A80100, 0xC0A801FF)
+        assert rule.ranges[1] == (0x0A000000, 0x0AFFFFFF)
+        assert rule.ranges[2] == (0, 65535)
+        assert rule.ranges[3] == (1024, 65535)
+        assert rule.ranges[4] == (6, 6)
+
+    def test_parse_errors(self, tmp_path):
+        for bad in (
+            "not a rule",
+            "@1.2.3.4/33 1.0.0.0/8 0 : 1 0 : 1 0x06/0xFF",
+            "@1.2.3.4/32 1.0.0.0/8 5 : 1 0 : 1 0x06/0xFF",
+            "@1.2.3.4/32 1.0.0.0/8 0 : 1 0 : 1 0x06/0x0F",
+            "@1.2.3.4/32 1.0.0.0/8 0 : 70000 0 : 1 0x06/0xFF",
+        ):
+            path = tmp_path / "bad.txt"
+            path.write_text(bad + "\n")
+            with pytest.raises(RuleFormatError):
+                RuleSet.load(str(path))
+
+    def test_skips_blank_and_comments(self, tmp_path):
+        path = tmp_path / "f.txt"
+        path.write_text(
+            "# header\n\n@1.2.3.4/32\t5.6.7.8/32\t0 : 65535\t80 : 80\t0x00/0x00\n"
+        )
+        rs = RuleSet.load(str(path))
+        assert len(rs) == 1
+        assert rs[0].ranges[4] == (0, 255)

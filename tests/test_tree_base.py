@@ -1,0 +1,104 @@
+"""Tests for the shared DecisionTree machinery (base.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import generate_ruleset, generate_trace
+from repro.algorithms import OpCounter, build_hicuts, build_hypercuts
+from repro.algorithms.base import EMPTY_CHILD
+from repro.core.packet import PacketTrace
+
+
+class TestLookupVsBatch:
+    @pytest.mark.parametrize("builder,kwargs", [
+        (build_hicuts, {}),
+        (build_hypercuts, {}),
+        (build_hicuts, {"hw_mode": True, "binth": 30}),
+        (build_hypercuts, {"hw_mode": True, "binth": 30}),
+    ])
+    def test_per_packet_agreement(self, acl_small, acl_small_trace, builder, kwargs):
+        tree = builder(acl_small, spfac=4, **kwargs)
+        batch = tree.batch_lookup(acl_small_trace)
+        for i in range(0, acl_small_trace.n_packets, 97):
+            header = acl_small_trace.headers[i]
+            res = tree.lookup(header)
+            assert res.rule_id == batch.match[i]
+            assert res.internal_nodes == batch.internal_nodes[i]
+            assert res.match_pos == batch.match_pos[i]
+            assert res.rules_compared == batch.rules_compared[i]
+
+    def test_lookup_counts_ops(self, acl_small):
+        tree = build_hicuts(acl_small, binth=16, spfac=4)
+        ops = OpCounter()
+        tree.lookup(acl_small.arrays.lo[:, 0], ops=ops)
+        assert ops["mem_read"] > 0
+
+
+class TestStats:
+    def test_stats_consistency(self, acl_medium):
+        tree = build_hicuts(acl_medium, binth=16, spfac=4)
+        st = tree.stats()
+        assert st.n_nodes == st.n_internal + st.n_leaves
+        assert st.n_nodes == len(tree)
+        assert st.max_leaf_rules <= 16
+        assert st.worst_case_sw_accesses > st.max_depth
+
+    def test_leaf_and_internal_ids(self, acl_small):
+        tree = build_hicuts(acl_small, binth=16)
+        leaf_ids = set(tree.leaf_ids())
+        internal_ids = set(tree.internal_ids())
+        assert leaf_ids.isdisjoint(internal_ids)
+        assert leaf_ids | internal_ids == set(range(len(tree)))
+
+    def test_software_memory_includes_ruleset(self, acl_small):
+        tree = build_hicuts(acl_small, binth=16)
+        assert tree.software_memory_bytes() >= len(acl_small) * 20
+
+    def test_merged_children_share_ids(self, acl_medium):
+        """Child merging must produce shared node ids (the DAG)."""
+        tree = build_hicuts(acl_medium, binth=30, spfac=4, hw_mode=True)
+        shared = False
+        for node in tree.nodes:
+            if node.is_leaf:
+                continue
+            kids = [int(c) for c in node.children if int(c) != EMPTY_CHILD]
+            if len(kids) != len(set(kids)):
+                shared = True
+                break
+        assert shared, "expected at least one merged child in a 1000-rule tree"
+
+
+class TestBatchEdgeCases:
+    def test_empty_trace(self, acl_small):
+        tree = build_hicuts(acl_small, binth=16)
+        trace = PacketTrace(
+            np.empty((0, 5), dtype=np.uint32), acl_small.schema
+        )
+        batch = tree.batch_lookup(trace)
+        assert batch.n_packets == 0
+
+    def test_all_background(self, acl_small):
+        rng = np.random.default_rng(5)
+        headers = np.stack(
+            [
+                rng.integers(0, 2**32, size=64, dtype=np.uint32),
+                rng.integers(0, 2**32, size=64, dtype=np.uint32),
+                rng.integers(0, 2**16, size=64, dtype=np.uint32),
+                rng.integers(0, 2**16, size=64, dtype=np.uint32),
+                rng.integers(0, 2**8, size=64, dtype=np.uint32),
+            ],
+            axis=1,
+        )
+        trace = PacketTrace(headers, acl_small.schema)
+        tree = build_hicuts(acl_small, binth=16)
+        batch = tree.batch_lookup(trace)
+        want = acl_small.classify_trace(trace)
+        assert np.array_equal(batch.match, want)
+
+    def test_burst_heavy_trace(self, acl_small):
+        trace = generate_trace(acl_small, 512, seed=77, pareto_shape=0.8)
+        tree = build_hypercuts(acl_small, binth=16)
+        want = acl_small.classify_trace(trace)
+        assert np.array_equal(tree.batch_lookup(trace).match, want)

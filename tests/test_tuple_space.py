@@ -1,0 +1,57 @@
+"""Tests for the Tuple Space Search extension baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import generate_ruleset, generate_trace
+from repro.algorithms import LinearSearchClassifier, OpCounter, TupleSpaceClassifier
+from repro.core.errors import CapacityError
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("family", ["acl1", "fw1", "ipc1"])
+    def test_oracle_equality(self, family):
+        rs = generate_ruleset(family, 200, seed=71)
+        tss = TupleSpaceClassifier(rs)
+        trace = generate_trace(rs, 600, seed=72, background_fraction=0.2)
+        want = LinearSearchClassifier(rs).classify_trace(trace)
+        got = tss.classify_trace(trace)
+        assert np.array_equal(got, want)
+
+    def test_first_match_priority_within_bucket(self):
+        rs = generate_ruleset("acl1", 100, seed=73)
+        tss = TupleSpaceClassifier(rs)
+        lin = LinearSearchClassifier(rs)
+        # Probe with exact rule corners to stress tie-breaking.
+        arrays = rs.arrays
+        for r in range(0, len(rs), 7):
+            header = tuple(int(arrays.lo[d, r]) for d in range(5))
+            assert tss.classify(header) == lin.classify(header)
+
+
+class TestStructure:
+    def test_tuple_count_reasonable(self, acl_small):
+        tss = TupleSpaceClassifier(acl_small)
+        assert 1 <= tss.n_tuples <= len(acl_small)
+
+    def test_memory_accesses_scale_with_tuples(self, acl_small):
+        tss = TupleSpaceClassifier(acl_small)
+        assert tss.memory_accesses_per_lookup() >= tss.n_tuples
+
+    def test_ops_counted(self, acl_small):
+        ops = OpCounter()
+        TupleSpaceClassifier(acl_small, ops=ops)
+        assert ops["mem_write"] > 0
+        lookup_ops = OpCounter()
+        tss = TupleSpaceClassifier(acl_small)
+        tss.classify((0, 0, 0, 0, 6), ops=lookup_ops)
+        assert lookup_ops["mem_read"] >= tss.n_tuples
+
+    def test_wrong_schema(self, demo_ruleset):
+        with pytest.raises(CapacityError):
+            TupleSpaceClassifier(demo_ruleset)
+
+    def test_memory_bytes(self, acl_small):
+        assert TupleSpaceClassifier(acl_small).memory_bytes() == 36 * len(acl_small)
