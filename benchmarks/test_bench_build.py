@@ -7,6 +7,8 @@ import pytest
 from repro import generate_ruleset
 from repro.algorithms import build_hicuts, build_hypercuts
 
+pytestmark = pytest.mark.bench
+
 
 @pytest.fixture(scope="module")
 def acl():

@@ -9,6 +9,8 @@ from repro.algorithms import LinearSearchClassifier
 from repro.algorithms.rfc import build_rfc
 from repro.hw import AcceleratorFSM, build_memory_image
 
+pytestmark = pytest.mark.bench
+
 
 def test_accelerator_run_trace(benchmark, acl1k_accelerator, acl1k_trace):
     """Vectorised accelerator model over a 20k-packet trace."""

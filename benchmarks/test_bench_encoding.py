@@ -15,6 +15,8 @@ from repro.hw.encoding import (
     unpack_leaf_word,
 )
 
+pytestmark = pytest.mark.bench
+
 
 @pytest.fixture(scope="module")
 def rule():

@@ -1,0 +1,77 @@
+"""Benchmarks: the engine pipeline and the vectorised tuple-space path.
+
+Tracks the serving subsystem this repo is growing toward: pipeline
+throughput at 1/2/4 shards over the accelerator backend, plus the
+vectorised tuple-space batch lookup against the per-packet scalar loop it
+replaced (the conformance oracle).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms import TupleSpaceClassifier
+from repro.engine import ClassificationPipeline, build_backend
+
+pytestmark = pytest.mark.bench
+
+
+@pytest.fixture(scope="module")
+def acl1k_engine_accelerator(acl1k):
+    return build_backend("accelerator", acl1k)
+
+
+@pytest.fixture(scope="module")
+def acl1k_tss(acl1k):
+    clf = TupleSpaceClassifier(acl1k)
+    clf.classify_batch(np.empty((0, 5), dtype=np.uint32))  # warm batch tables
+    return clf
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_pipeline_throughput(benchmark, acl1k_engine_accelerator, acl1k_trace, shards):
+    """Sharded streaming over the accelerator backend (20k packets)."""
+    pipeline = ClassificationPipeline(
+        acl1k_engine_accelerator, chunk_size=2048, shards=shards
+    )
+    res = benchmark(lambda: pipeline.run(acl1k_trace))
+    assert res.n_packets == acl1k_trace.n_packets
+    assert res.mean_occupancy() is not None
+
+
+def test_tuple_space_batch(benchmark, acl1k_tss, acl1k_trace):
+    """Vectorised TSS batch lookup over the full 20k-packet trace."""
+    out = benchmark(lambda: acl1k_tss.classify_batch(acl1k_trace.headers))
+    assert out.shape == (acl1k_trace.n_packets,)
+
+
+def test_tuple_space_scalar_loop(benchmark, acl1k_tss, acl1k_trace):
+    """The seed's per-packet loop (small slice; it is the oracle path)."""
+    sub = acl1k_trace.headers[:500]
+    benchmark(
+        lambda: np.asarray([acl1k_tss.classify(row) for row in sub])
+    )
+
+
+def test_tuple_space_speedup_at_least_10x(acl1k_tss, acl1k_trace):
+    """Acceptance gate: vectorised batch >= 10x the seed scalar loop on
+    the 1k-rule benchmark ruleset."""
+    headers = acl1k_trace.headers[:2000]
+    t0 = time.perf_counter()
+    scalar = np.asarray([acl1k_tss.classify(row) for row in headers])
+    t_scalar = time.perf_counter() - t0
+    acl1k_tss.classify_batch(headers)  # warm
+    t0 = time.perf_counter()
+    batch = acl1k_tss.classify_batch(headers)
+    t_batch = time.perf_counter() - t0
+    assert np.array_equal(scalar, batch)
+    speedup = t_scalar / t_batch
+    assert speedup >= 10, f"vectorised TSS only {speedup:.1f}x faster"
+
+
+def test_registry_build_hypercuts(benchmark, acl1k):
+    """Backend construction cost through the registry."""
+    benchmark(lambda: build_backend("hypercuts", acl1k, binth=30, hw_mode=True))

@@ -25,6 +25,8 @@ from repro.experiments import (
 )
 from repro.experiments.common import Pipeline
 
+pytestmark = pytest.mark.bench
+
 
 def test_table2_memory(benchmark, pipeline):
     rows = benchmark(lambda: table2.run(pipeline))

@@ -42,8 +42,13 @@ from .algorithms import (
     build_hicuts,
     build_hypercuts,
 )
+from .engine import (
+    ClassificationPipeline,
+    available_backends,
+    build_backend,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DEMO_SCHEMA",
@@ -64,5 +69,8 @@ __all__ = [
     "TupleSpaceClassifier",
     "build_hicuts",
     "build_hypercuts",
+    "ClassificationPipeline",
+    "available_backends",
+    "build_backend",
     "__version__",
 ]

@@ -226,6 +226,13 @@ class DecisionTree:
         """Convenience: matched rule id only."""
         return self.lookup(header).rule_id
 
+    def classify_batch(self, headers: np.ndarray) -> np.ndarray:
+        """Engine-protocol batch lookup: matched rule ids only."""
+        return self.batch_lookup(PacketTrace(headers, self.schema)).match
+
+    def classify_trace(self, trace: PacketTrace) -> np.ndarray:
+        return self.batch_lookup(trace).match
+
     # ------------------------------------------------------------------
     # Vectorised batch traversal
     # ------------------------------------------------------------------

@@ -125,8 +125,20 @@ class IncrementalClassifier:
         """First-match over live rules (stable-id result)."""
         return self.tree.lookup(header).rule_id
 
+    def classify_batch(self, headers: np.ndarray) -> np.ndarray:
+        return self.tree.batch_lookup(
+            PacketTrace(headers, self._ruleset.schema)
+        ).match
+
     def classify_trace(self, trace: PacketTrace) -> np.ndarray:
         return self.tree.batch_lookup(trace).match
+
+    def memory_bytes(self) -> int:
+        """Software search-structure model of the current (live) tree."""
+        return self.tree.software_memory_bytes()
+
+    def memory_accesses_per_lookup(self) -> int:
+        return self.tree.stats().worst_case_sw_accesses
 
     # ------------------------------------------------------------------
     # Updates

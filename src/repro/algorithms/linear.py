@@ -42,9 +42,13 @@ class LinearSearchClassifier:
                 return r
         return -1
 
+    def classify_batch(self, headers: np.ndarray) -> np.ndarray:
+        """Vectorised first match per header row (oracle for batches)."""
+        return self.arrays.batch_match(headers)
+
     def classify_trace(self, trace: PacketTrace) -> np.ndarray:
         """Vectorised batch classification (oracle for whole traces)."""
-        return self.arrays.batch_match(trace.headers)
+        return self.classify_batch(trace.headers)
 
     def avg_rules_scanned(self, trace: PacketTrace) -> float:
         """Mean rules visited per packet (first match index + 1, or n)."""
@@ -55,3 +59,7 @@ class LinearSearchClassifier:
     def memory_bytes(self) -> int:
         """The raw ruleset storage (no auxiliary structure)."""
         return self.ruleset.storage_bytes()
+
+    def memory_accesses_per_lookup(self) -> int:
+        """Worst case: one 160-bit rule word read per rule in the set."""
+        return self.arrays.n

@@ -233,9 +233,8 @@ class RFCClassifier:
         assert self._final_match is not None
         return int(self._final_match[class_of[idx - 1]])
 
-    def classify_trace(self, trace: PacketTrace) -> np.ndarray:
+    def classify_batch(self, headers: np.ndarray) -> np.ndarray:
         """Vectorised batch lookup (fancy indexing through every table)."""
-        headers = trace.headers
         class_of: dict[int, np.ndarray] = {}
         for i, (dim, shift, width) in enumerate(CHUNKS):
             vals = (headers[:, dim].astype(np.int64) >> shift) & ((1 << width) - 1)
@@ -253,6 +252,9 @@ class RFCClassifier:
                 idx += 1
         assert self._final_match is not None
         return self._final_match[class_of[idx - 1]]
+
+    def classify_trace(self, trace: PacketTrace) -> np.ndarray:
+        return self.classify_batch(trace.headers)
 
     # ------------------------------------------------------------------
     # Cost model inputs

@@ -26,6 +26,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+#: 64-bit mixing constant (golden-ratio hash) for the batch probe path.
+_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
+
 from ..core.errors import CapacityError
 from ..core.packet import PacketTrace
 from ..core.ruleset import RuleSet
@@ -53,6 +56,35 @@ class _TupleKey:
     proto_kind: int
 
 
+@dataclass
+class _BatchTable:
+    """One tuple's hash table flattened for vectorised probing.
+
+    ``hashes`` is the sorted array of 64-bit bucket-key hashes;
+    ``rules`` is a ``(n_buckets, max_depth)`` matrix of rule ids padded
+    with -1, each row sorted ascending so the first verified hit along a
+    row is the bucket's best (lowest-id) match.  Hash collisions merge
+    buckets, which is semantically harmless: a candidate from the wrong
+    bucket only survives the full interval verification when the rule
+    genuinely matches the packet — in which case its own probe would have
+    found it anyway.
+    """
+
+    key: _TupleKey
+    hashes: np.ndarray  # (n_buckets,) uint64, sorted
+    rules: np.ndarray  # (n_buckets, max_depth) int64, -1 padded
+
+
+def _mix_keys(
+    k0: np.ndarray, k1: np.ndarray, k2: np.ndarray, k3: np.ndarray, k4: np.ndarray
+) -> np.ndarray:
+    """Collapse the 5-part (≤104-bit) probe key into one uint64 hash."""
+    hi = (k0 << np.uint64(32)) | k1
+    lo = (k2 << np.uint64(24)) | (k3 << np.uint64(8)) | k4
+    with np.errstate(over="ignore"):
+        return (hi * _HASH_MULT) ^ lo
+
+
 class TupleSpaceClassifier:
     """Hash-based tuple space search over a 5-tuple ruleset."""
 
@@ -73,6 +105,7 @@ class TupleSpaceClassifier:
             counter.add("alu", 10)
         # Freeze to plain dicts for lookup speed.
         self.tuples = {k: dict(v) for k, v in self.tuples.items()}
+        self._batch_tables: list[_BatchTable] | None = None
 
     # ------------------------------------------------------------------
     def _tuple_of(self, r: int) -> _TupleKey:
@@ -130,11 +163,85 @@ class TupleSpaceClassifier:
                     break  # bucket lists are priority ordered
         return best
 
+    # ------------------------------------------------------------------
+    # Vectorised batch lookup
+    # ------------------------------------------------------------------
+    def _build_batch_tables(self) -> list[_BatchTable]:
+        """Flatten each tuple's dict into sorted hash + padded-rule arrays."""
+        tables: list[_BatchTable] = []
+        for key, table in self.tuples.items():
+            keys = np.asarray(
+                [list(k) for k in table.keys()], dtype=np.uint64
+            ).reshape(len(table), 5)
+            hashes = _mix_keys(*(keys[:, d] for d in range(5)))
+            # Merge hash-colliding buckets (see _BatchTable docstring).
+            merged: dict[int, list[int]] = {}
+            for h, bucket in zip(hashes.tolist(), table.values()):
+                merged.setdefault(h, []).extend(bucket)
+            uniq = np.asarray(sorted(merged), dtype=np.uint64)
+            depth = max(len(b) for b in merged.values())
+            rules = np.full((len(uniq), depth), -1, dtype=np.int64)
+            for i, h in enumerate(uniq.tolist()):
+                bucket = sorted(merged[h])
+                rules[i, : len(bucket)] = bucket
+            tables.append(_BatchTable(key=key, hashes=uniq, rules=rules))
+        return tables
+
+    def classify_batch(self, headers: np.ndarray) -> np.ndarray:
+        """Vectorised lookup: one hash-probe + bucket verification per
+        tuple, resolved for all packets at once with NumPy.
+
+        Exactness argument: every rule that matches a packet is found by
+        the probe of its own tuple (the masked header equals the rule's
+        hash key precisely when the exact/prefix fields match), so taking
+        the minimum rule id over all verified candidates reproduces the
+        scalar path's best-of-first-bucket-hits — which is first-match
+        semantics.  The scalar :meth:`classify` remains the oracle; the
+        conformance tests compare the two.
+        """
+        # Build the probe tables even for an empty batch so callers (the
+        # sharded pipeline) can warm them before forking workers.
+        if self._batch_tables is None:
+            self._batch_tables = self._build_batch_tables()
+        n = headers.shape[0]
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        arrays = self.ruleset.arrays
+        sentinel = np.int64(arrays.n)  # "no match yet"; any rule id beats it
+        best = np.full(n, sentinel, dtype=np.int64)
+        h64 = headers.astype(np.uint64)
+        zeros = np.zeros(n, dtype=np.uint64)
+        for bt in self._batch_tables:
+            key = bt.key
+            k0 = h64[:, 0] >> np.uint64(32 - key.src_plen) if key.src_plen else zeros
+            k1 = h64[:, 1] >> np.uint64(32 - key.dst_plen) if key.dst_plen else zeros
+            k2 = h64[:, 2] if key.sport_kind == KIND_EXACT else zeros
+            k3 = h64[:, 3] if key.dport_kind == KIND_EXACT else zeros
+            k4 = h64[:, 4] if key.proto_kind == KIND_EXACT else zeros
+            probes = _mix_keys(k0, k1, k2, k3, k4)
+            idx = np.searchsorted(bt.hashes, probes)
+            idx_c = np.minimum(idx, len(bt.hashes) - 1)
+            hit = np.nonzero(bt.hashes[idx_c] == probes)[0]
+            if not hit.size:
+                continue
+            cand = bt.rules[idx_c[hit]]  # (n_hit, depth) rule ids, -1 pad
+            safe = np.maximum(cand, 0)
+            ok = cand >= 0
+            for d in range(5):
+                v = headers[hit, d].astype(np.int64)[:, None]
+                ok &= (arrays.lo[d, safe] <= v) & (v <= arrays.hi[d, safe])
+            any_match = ok.any(axis=1)
+            if not any_match.any():
+                continue
+            # Rows are sorted ascending, so argmax gives the bucket's
+            # lowest matching rule id.
+            first = cand[np.arange(hit.size), ok.argmax(axis=1)]
+            matched = np.where(any_match, first, sentinel)
+            np.minimum.at(best, hit, matched)
+        return np.where(best < sentinel, best, -1)
+
     def classify_trace(self, trace: PacketTrace) -> np.ndarray:
-        out = np.full(trace.n_packets, -1, dtype=np.int64)
-        for i, row in enumerate(trace.headers):
-            out[i] = self.classify(row)
-        return out
+        return self.classify_batch(trace.headers)
 
     # ------------------------------------------------------------------
     @property

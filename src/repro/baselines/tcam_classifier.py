@@ -91,12 +91,13 @@ class TcamClassifier:
         idx = np.nonzero(ok)[0]
         return int(self._rule[idx[0]]) if idx.size else -1
 
-    def classify_trace(self, trace: PacketTrace) -> np.ndarray:
-        out = np.full(trace.n_packets, -1, dtype=np.int64)
+    def classify_batch(self, headers: np.ndarray) -> np.ndarray:
+        n_packets = headers.shape[0]
+        out = np.full(n_packets, -1, dtype=np.int64)
         # Chunked to bound the (packets x slots) boolean matrix.
         chunk = max(1, 2_000_000 // max(self.n_slots, 1))
-        H = trace.headers.astype(np.int64)
-        for start in range(0, trace.n_packets, chunk):
+        H = headers.astype(np.int64)
+        for start in range(0, n_packets, chunk):
             h = H[start : start + chunk]
             ok = np.ones((h.shape[0], self.n_slots), dtype=bool)
             for d in range(5):
@@ -109,3 +110,15 @@ class TcamClassifier:
                 any_hit, self._rule[first], -1
             )
         return out
+
+    def classify_trace(self, trace: PacketTrace) -> np.ndarray:
+        return self.classify_batch(trace.headers)
+
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Expanded-slot storage (144-bit entries), the Section 5.3 size."""
+        return self.stats().size_bytes
+
+    def memory_accesses_per_lookup(self) -> int:
+        """All slots are compared in one parallel CAM access."""
+        return 1

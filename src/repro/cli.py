@@ -4,10 +4,18 @@ Subcommands mirror a hardware bring-up flow:
 
 * ``generate`` — synthesise a ClassBench-style ruleset (and trace);
 * ``build`` — build a search structure and report its size/shape;
-* ``classify`` — run a trace through the accelerator model and print
+* ``classify`` — run a trace through any registered engine backend
+  (decision trees default to the accelerator model) and print
   throughput/energy on the paper's devices;
+* ``bench`` — stream a trace through the sharded
+  :class:`~repro.engine.ClassificationPipeline` and report serving
+  throughput plus, for the accelerator, device throughput and energy;
 * ``tables`` — regenerate the paper's tables (wraps run_all);
 * ``fsm`` — print a Figure-5 style cycle trace for a few packets.
+
+``--algorithm`` accepts every name in :mod:`repro.engine.registry`
+(``repro-classify classify --algorithm rfc ...``); ``build`` errors
+cleanly for backends that do not construct a decision tree.
 """
 
 from __future__ import annotations
@@ -17,10 +25,22 @@ import sys
 
 from .algorithms import build_hicuts, build_hypercuts
 from .classbench import generate_ruleset, generate_trace
+from .core.errors import ReproError
 from .core.packet import PacketTrace
 from .core.ruleset import RuleSet
-from .energy import Sa1100Model, asic_model, fpga_model
-from .hw import Accelerator, build_memory_image, figure5_trace
+from .energy import asic_model, fpga_model
+from .engine import (
+    ClassificationPipeline,
+    available_backends,
+    backend_spec,
+    build_backend,
+)
+from .engine.registry import registered_aliases
+from .hw import build_memory_image, figure5_trace
+
+#: Names ``--algorithm`` accepts: every registered backend plus aliases.
+_ALGORITHM_CHOICES = sorted(set(available_backends()) | set(registered_aliases()))
+_TREE_ALGORITHMS = ("hicuts", "hypercuts")
 
 
 def _load_or_generate(args) -> RuleSet:
@@ -29,10 +49,38 @@ def _load_or_generate(args) -> RuleSet:
     return generate_ruleset(args.family, args.rules, seed=args.seed)
 
 
+def _load_or_generate_trace(args, ruleset: RuleSet) -> PacketTrace:
+    if getattr(args, "trace_file", None):
+        return PacketTrace.load(args.trace_file)
+    return generate_trace(ruleset, args.packets, seed=args.seed + 1)
+
+
 def _build_tree(ruleset: RuleSet, args):
     build = build_hypercuts if args.algorithm == "hypercuts" else build_hicuts
     return build(
         ruleset, binth=args.binth, spfac=args.spfac, hw_mode=not args.software
+    )
+
+
+def _engine_classifier(ruleset: RuleSet, args):
+    """Instantiate the backend ``args.algorithm`` names via the registry.
+
+    Decision-tree names map onto the hardware accelerator unless
+    ``--software`` asks for the original software traversal, mirroring
+    the historical ``classify`` behaviour.
+    """
+    name = args.algorithm
+    spec = backend_spec(name)
+    software = getattr(args, "software", False)
+    if spec.builds_tree and not software:
+        return build_backend(
+            "accelerator", ruleset, algorithm=spec.name,
+            binth=args.binth, spfac=args.spfac, speed=args.speed,
+        )
+    return build_backend(
+        spec.name, ruleset,
+        binth=args.binth, spfac=args.spfac, speed=args.speed,
+        hw_mode=not software,
     )
 
 
@@ -48,6 +96,15 @@ def cmd_generate(args) -> int:
 
 
 def cmd_build(args) -> int:
+    spec = backend_spec(args.algorithm)
+    if not spec.builds_tree:
+        print(
+            f"error: backend {spec.name!r} does not build a decision tree; "
+            f"'build' supports {', '.join(_TREE_ALGORITHMS)} — use "
+            f"'classify' or 'bench' for {spec.name!r}",
+            file=sys.stderr,
+        )
+        return 2
     rs = _load_or_generate(args)
     tree = _build_tree(rs, args)
     st = tree.stats()
@@ -69,28 +126,52 @@ def cmd_build(args) -> int:
 
 def cmd_classify(args) -> int:
     rs = _load_or_generate(args)
-    tree = _build_tree(rs, args)
-    if args.trace_file:
-        trace = PacketTrace.load(args.trace_file)
-    else:
-        trace = generate_trace(rs, args.packets, seed=args.seed + 1)
-    if args.software:
-        batch = tree.batch_lookup(trace)
-        matched = int((batch.match >= 0).sum())
+    trace = _load_or_generate_trace(args, rs)
+    clf = _engine_classifier(rs, args)
+    if hasattr(clf, "run_trace"):  # the accelerator: full cost model
+        run = clf.run_trace(trace)
+        asic, fpga = asic_model(), fpga_model()
+        a, f = asic.evaluate(run), fpga.evaluate(run)
+        matched = int((run.match >= 0).sum())
         print(f"classified {trace.n_packets} packets, {matched} matched")
+        print(f"mean occupancy: {run.mean_occupancy():.3f} cycles/packet")
+        print(f"worst-case latency: {run.worst_latency()} cycles")
+        print(f"ASIC 226MHz: {a.throughput_pps / 1e6:8.1f} Mpps, "
+              f"{a.energy_per_packet_norm_j:.3E} J/packet")
+        print(f"FPGA  77MHz: {f.throughput_pps / 1e6:8.1f} Mpps, "
+              f"{f.energy_per_packet_norm_j:.3E} J/packet")
         return 0
-    image = build_memory_image(tree, speed=args.speed)
-    run = Accelerator(image).run_trace(trace)
-    asic, fpga = asic_model(), fpga_model()
-    a, f = asic.evaluate(run), fpga.evaluate(run)
-    matched = int((run.match >= 0).sum())
+    matches = clf.classify_trace(trace)
+    matched = int((matches >= 0).sum())
     print(f"classified {trace.n_packets} packets, {matched} matched")
-    print(f"mean occupancy: {run.mean_occupancy():.3f} cycles/packet")
-    print(f"worst-case latency: {run.worst_latency()} cycles")
-    print(f"ASIC 226MHz: {a.throughput_pps / 1e6:8.1f} Mpps, "
-          f"{a.energy_per_packet_norm_j:.3E} J/packet")
-    print(f"FPGA  77MHz: {f.throughput_pps / 1e6:8.1f} Mpps, "
-          f"{f.energy_per_packet_norm_j:.3E} J/packet")
+    print(f"backend: {backend_spec(args.algorithm).name}")
+    print(f"memory model: {clf.memory_bytes():,} bytes")
+    print(f"worst-case accesses/lookup: {clf.memory_accesses_per_lookup()}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    rs = _load_or_generate(args)
+    trace = _load_or_generate_trace(args, rs)
+    clf = _engine_classifier(rs, args)
+    pipeline = ClassificationPipeline(
+        clf, chunk_size=args.chunk_size, shards=args.shards
+    )
+    res = pipeline.run(trace)
+    print(f"backend: {res.backend}  shards: {res.n_shards}  "
+          f"chunk: {res.chunk_size} packets  chunks: {len(res.chunks)}")
+    print(f"classified {res.n_packets} packets, {res.matched} matched "
+          f"({100 * res.matched_fraction:.1f}%)")
+    print(f"pipeline throughput: {res.throughput_pps():,.0f} packets/s "
+          f"(wall clock {res.elapsed_s * 1e3:.1f} ms)")
+    mo = res.mean_occupancy()
+    if mo is not None:
+        asic, fpga = asic_model(), fpga_model()
+        print(f"mean occupancy: {mo:.3f} cycles/packet")
+        print(f"ASIC 226MHz: {res.device_throughput_pps(226e6) / 1e6:8.1f} Mpps, "
+              f"{res.energy_per_packet_j(asic):.3E} J/packet")
+        print(f"FPGA  77MHz: {res.device_throughput_pps(77e6) / 1e6:8.1f} Mpps, "
+              f"{res.energy_per_packet_j(fpga):.3E} J/packet")
     return 0
 
 
@@ -117,12 +198,17 @@ def cmd_fsm(args) -> int:
     return 0
 
 
-def _add_workload_args(p: argparse.ArgumentParser, packets: int = 10000) -> None:
+def _add_workload_args(
+    p: argparse.ArgumentParser,
+    packets: int = 10000,
+    algorithms: list[str] | None = None,
+) -> None:
     p.add_argument("--family", default="acl1", choices=["acl1", "fw1", "ipc1"])
     p.add_argument("--rules", type=int, default=1000)
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--ruleset-file", default=None, help="load instead of generating")
-    p.add_argument("--algorithm", default="hypercuts", choices=["hicuts", "hypercuts"])
+    p.add_argument("--algorithm", default="hypercuts",
+                   choices=algorithms or _ALGORITHM_CHOICES)
     p.add_argument("--binth", type=int, default=30)
     p.add_argument("--spfac", type=float, default=4)
     p.add_argument("--speed", type=int, default=1, choices=[0, 1])
@@ -153,6 +239,16 @@ def main(argv: list[str] | None = None) -> int:
     c.add_argument("--trace-file", default=None)
     c.set_defaults(fn=cmd_classify)
 
+    n = sub.add_parser("bench", help="stream a trace through the sharded "
+                                     "classification pipeline")
+    _add_workload_args(n, packets=100000)
+    n.add_argument("--trace-file", default=None)
+    n.add_argument("--shards", type=int, default=1,
+                   help="worker shards (fork-based; 1 = single process)")
+    n.add_argument("--chunk-size", type=int, default=4096,
+                   help="packets per streamed chunk")
+    n.set_defaults(fn=cmd_bench)
+
     t = sub.add_parser("tables", help="regenerate the paper's tables")
     t.add_argument("--quick", action="store_true")
     t.add_argument("--seed", type=int, default=7)
@@ -160,11 +256,15 @@ def main(argv: list[str] | None = None) -> int:
     t.set_defaults(fn=cmd_tables)
 
     f = sub.add_parser("fsm", help="Figure-5 cycle trace")
-    _add_workload_args(f, packets=5)
+    _add_workload_args(f, packets=5, algorithms=list(_TREE_ALGORITHMS))
     f.set_defaults(fn=cmd_fsm)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,49 @@
+"""Unified classifier engine: one protocol, a backend registry, and a
+sharded streaming pipeline.
+
+::
+
+    from repro.engine import build_backend, ClassificationPipeline
+
+    clf = build_backend("accelerator", ruleset, algorithm="hypercuts")
+    result = ClassificationPipeline(clf, shards=4).run(trace)
+    print(result.throughput_pps(), result.mean_occupancy())
+
+See ``docs/engine.md`` for the architecture overview.
+"""
+
+from .backends import AcceleratorClassifier, DecisionTreeClassifier
+from .pipeline import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkStats,
+    ClassificationPipeline,
+    PipelineResult,
+)
+from .protocol import BatchStats, Classifier, ClassifierBase, batch_stats_of
+from .registry import (
+    BackendSpec,
+    available_backends,
+    backend_spec,
+    build_backend,
+    register_backend,
+    registered_aliases,
+)
+
+__all__ = [
+    "AcceleratorClassifier",
+    "DecisionTreeClassifier",
+    "DEFAULT_CHUNK_SIZE",
+    "ChunkStats",
+    "ClassificationPipeline",
+    "PipelineResult",
+    "BatchStats",
+    "Classifier",
+    "ClassifierBase",
+    "batch_stats_of",
+    "BackendSpec",
+    "available_backends",
+    "backend_spec",
+    "build_backend",
+    "register_backend",
+    "registered_aliases",
+]

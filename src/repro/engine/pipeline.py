@@ -1,0 +1,230 @@
+"""Sharded streaming classification pipeline — the serving harness.
+
+A :class:`ClassificationPipeline` streams a :class:`~repro.core.packet.
+PacketTrace` through a classifier in fixed-size chunks, optionally fanned
+out over N worker shards, and aggregates per-chunk statistics into one
+:class:`PipelineResult`:
+
+* matches are concatenated in trace order, so the pipeline output is
+  bit-for-bit identical to a single-shot ``classify_trace`` at every
+  shard count (the conformance suite asserts this);
+* backends that model hardware cost (the accelerator) contribute
+  per-packet occupancy, which the result converts into device throughput
+  and energy per packet via the :mod:`repro.energy` models;
+* wall-clock throughput of the *simulation itself* is reported so the
+  benchmark suite can track the serving path.
+
+Sharding uses ``fork``-based multiprocessing when the platform offers it
+(the built classifier and the trace are inherited copy-on-write, so
+nothing large is pickled); elsewhere — or with ``shards=1`` — it falls
+back to chunked single-process streaming with identical results.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.errors import ConfigError
+from ..core.packet import PacketTrace
+from .protocol import BatchStats, Classifier, batch_stats_of
+
+#: Default packets per chunk: large enough to amortise NumPy dispatch,
+#: small enough that per-chunk stats stay meaningful for live reporting.
+DEFAULT_CHUNK_SIZE = 4096
+
+#: Module global holding (classifier, headers) across a ``fork`` so
+#: worker shards inherit them copy-on-write instead of via pickling.
+_SHARD_STATE: tuple[Classifier, np.ndarray] | None = None
+
+
+def _run_chunk(bounds: tuple[int, int]) -> tuple[np.ndarray, np.ndarray | None]:
+    assert _SHARD_STATE is not None
+    classifier, headers = _SHARD_STATE
+    return _run_chunk_local(classifier, headers, bounds)
+
+
+@dataclass(frozen=True)
+class ChunkStats:
+    """Aggregate statistics for one processed chunk."""
+
+    index: int
+    start: int
+    n_packets: int
+    matched: int
+    occupancy_sum: int | None = None
+
+    @property
+    def matched_fraction(self) -> float:
+        return self.matched / self.n_packets if self.n_packets else 0.0
+
+
+@dataclass
+class PipelineResult:
+    """Trace-order matches plus aggregated serving statistics.
+
+    ``n_shards`` is the number of worker processes that *actually ran*:
+    1 whenever the single-process fallback served the trace (no ``fork``
+    on the platform, a single chunk, or ``shards=1``), else the forked
+    pool size after clamping to chunk and CPU counts.
+    """
+
+    match: np.ndarray
+    chunks: list[ChunkStats]
+    n_shards: int
+    chunk_size: int
+    elapsed_s: float
+    backend: str = "classifier"
+    occupancy: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def n_packets(self) -> int:
+        return len(self.match)
+
+    @property
+    def matched(self) -> int:
+        return int((self.match >= 0).sum())
+
+    @property
+    def matched_fraction(self) -> float:
+        return self.matched / self.n_packets if self.n_packets else 0.0
+
+    def throughput_pps(self) -> float:
+        """Simulation wall-clock packets/second through the pipeline."""
+        return self.n_packets / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    # -- hardware cost aggregation (accelerator-backed pipelines) -------
+    def mean_occupancy(self) -> float | None:
+        """Mean memory-port cycles per packet, when the backend models it."""
+        if self.occupancy is None or not self.occupancy.size:
+            return None
+        return float(self.occupancy.mean())
+
+    def device_throughput_pps(self, freq_hz: float) -> float | None:
+        """Steady-state modelled-device packets/second at ``freq_hz``."""
+        mo = self.mean_occupancy()
+        return freq_hz / mo if mo else None
+
+    def energy_per_packet_j(self, model) -> float | None:
+        """Joules/packet on an :class:`~repro.energy.AcceleratorPowerModel`."""
+        mo = self.mean_occupancy()
+        return model.energy_per_packet_j(mo) if mo else None
+
+
+class ClassificationPipeline:
+    """Stream traces through a classifier in chunks across N shards."""
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        shards: int = 1,
+    ) -> None:
+        if chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+        if shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {shards}")
+        self.classifier = classifier
+        self.chunk_size = chunk_size
+        self.shards = shards
+
+    # ------------------------------------------------------------------
+    def _chunk_bounds(self, n: int) -> list[tuple[int, int]]:
+        return [
+            (start, min(start + self.chunk_size, n))
+            for start in range(0, n, self.chunk_size)
+        ]
+
+    @staticmethod
+    def _fork_available() -> bool:
+        try:
+            import multiprocessing
+
+            return "fork" in multiprocessing.get_all_start_methods()
+        except ImportError:  # pragma: no cover - multiprocessing is stdlib
+            return False
+
+    def run(self, trace: PacketTrace) -> PipelineResult:
+        """Classify ``trace``; results are in trace order regardless of
+        shard scheduling."""
+        headers = trace.headers
+        n = headers.shape[0]
+        bounds = self._chunk_bounds(n)
+        started = time.perf_counter()
+        if self.shards > 1 and len(bounds) > 1 and self._fork_available():
+            outputs, workers = self._run_forked(headers, bounds)
+        else:
+            outputs = [_run_chunk_local(self.classifier, headers, b) for b in bounds]
+            workers = 1
+        elapsed = time.perf_counter() - started
+        return self._aggregate(outputs, bounds, n, elapsed, workers)
+
+    def _run_forked(
+        self, headers: np.ndarray, bounds: list[tuple[int, int]]
+    ) -> tuple[list[tuple[np.ndarray, np.ndarray | None]], int]:
+        import multiprocessing
+
+        global _SHARD_STATE
+        ctx = multiprocessing.get_context("fork")
+        workers = min(self.shards, len(bounds), os.cpu_count() or 1)
+        # Warm any lazily-built batch structures (e.g. the tuple-space
+        # probe tables) in the parent so the forked children inherit
+        # them copy-on-write instead of each rebuilding them.
+        batch_stats_of(self.classifier, headers[:0])
+        _SHARD_STATE = (self.classifier, headers)
+        try:
+            with ctx.Pool(processes=workers) as pool:
+                return pool.map(_run_chunk, bounds), workers
+        finally:
+            _SHARD_STATE = None
+
+    def _aggregate(
+        self,
+        outputs: list[tuple[np.ndarray, np.ndarray | None]],
+        bounds: list[tuple[int, int]],
+        n: int,
+        elapsed: float,
+        workers: int,
+    ) -> PipelineResult:
+        chunks: list[ChunkStats] = []
+        for i, ((start, end), (match, occ)) in enumerate(zip(bounds, outputs)):
+            chunks.append(
+                ChunkStats(
+                    index=i,
+                    start=start,
+                    n_packets=end - start,
+                    matched=int((match >= 0).sum()),
+                    occupancy_sum=None if occ is None else int(occ.sum()),
+                )
+            )
+        if outputs:
+            match = np.concatenate([m for m, _ in outputs])
+            occs = [o for _, o in outputs]
+            occupancy = (
+                np.concatenate(occs) if all(o is not None for o in occs) else None
+            )
+        else:
+            match = np.empty(0, dtype=np.int64)
+            occupancy = None
+        return PipelineResult(
+            match=match,
+            chunks=chunks,
+            n_shards=workers,
+            chunk_size=self.chunk_size,
+            elapsed_s=elapsed,
+            backend=getattr(self.classifier, "backend_name",
+                            type(self.classifier).__name__),
+            occupancy=occupancy,
+        )
+
+
+def _run_chunk_local(
+    classifier: Classifier, headers: np.ndarray, bounds: tuple[int, int]
+) -> tuple[np.ndarray, np.ndarray | None]:
+    start, end = bounds
+    stats: BatchStats = batch_stats_of(classifier, headers[start:end])
+    return stats.match, stats.occupancy

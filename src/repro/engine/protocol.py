@@ -1,0 +1,119 @@
+"""The uniform classifier contract every engine backend satisfies.
+
+Historically each classifier in the library grew its own ad-hoc surface
+(``classify``/``classify_trace``/assorted stats methods) and the CLI and
+experiment harness could only reach the two decision-tree variants.  The
+engine layer fixes the contract once:
+
+* :class:`Classifier` — a :class:`typing.Protocol` (structural, so the
+  existing algorithm classes satisfy it without importing this module);
+* :class:`ClassifierBase` — a convenience ABC for engine adapters that
+  derives the whole surface from ``classify_batch``;
+* :class:`BatchStats` — the per-batch result record the
+  :class:`~repro.engine.pipeline.ClassificationPipeline` aggregates;
+  backends with a hardware cost model (the accelerator) attach per-packet
+  occupancy, everything else reports matches only.
+
+The semantic requirement is unchanged from the rest of the library: every
+backend must agree packet-for-packet with the linear-search oracle
+(:class:`~repro.algorithms.linear.LinearSearchClassifier`); the
+conformance suite in ``tests/test_engine.py`` enforces it across the
+whole registry.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..core.packet import PacketTrace
+from ..core.rules import FieldSchema
+
+
+@dataclass
+class BatchStats:
+    """Result of classifying one batch of headers.
+
+    ``occupancy`` is the per-packet memory-port cycle count for backends
+    that model it (the hardware accelerator); ``None`` elsewhere.
+    """
+
+    match: np.ndarray
+    occupancy: np.ndarray | None = None
+
+    @property
+    def n_packets(self) -> int:
+        return len(self.match)
+
+
+@runtime_checkable
+class Classifier(Protocol):
+    """Structural protocol of a packet classifier backend.
+
+    ``classify_batch`` is the primary, vectorised entry point: it takes an
+    ``(n_packets, ndim)`` header matrix and returns the first-match rule
+    id per packet (-1 for no match).  ``classify`` is the scalar
+    counterpart, ``classify_trace`` the :class:`PacketTrace` convenience.
+    ``memory_bytes``/``memory_accesses_per_lookup`` feed the size and
+    cost-model comparisons the experiment tables are built from.
+    """
+
+    def classify(self, header: Sequence[int]) -> int: ...
+
+    def classify_batch(self, headers: np.ndarray) -> np.ndarray: ...
+
+    def classify_trace(self, trace: PacketTrace) -> np.ndarray: ...
+
+    def memory_bytes(self) -> int: ...
+
+    def memory_accesses_per_lookup(self) -> int: ...
+
+
+class ClassifierBase(abc.ABC):
+    """Adapter base: implement ``classify_batch`` + the stats hooks and
+    the rest of the :class:`Classifier` surface comes for free."""
+
+    #: Registry name of the backend (set by adapters for display).
+    backend_name: str = "classifier"
+
+    schema: FieldSchema
+
+    @abc.abstractmethod
+    def classify_batch(self, headers: np.ndarray) -> np.ndarray:
+        """First-match rule id per header row (-1 when nothing matches)."""
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Modelled storage footprint of the search structure."""
+
+    @abc.abstractmethod
+    def memory_accesses_per_lookup(self) -> int:
+        """Worst-case memory accesses one lookup can incur."""
+
+    # ------------------------------------------------------------------
+    def classify(self, header: Sequence[int]) -> int:
+        row = np.asarray([[int(v) for v in header]], dtype=np.uint32)
+        return int(self.classify_batch(row)[0])
+
+    def classify_trace(self, trace: PacketTrace) -> np.ndarray:
+        return self.classify_batch(trace.headers)
+
+    def batch_stats(self, headers: np.ndarray) -> BatchStats:
+        """Matches plus whatever cost statistics the backend models."""
+        return BatchStats(match=self.classify_batch(headers))
+
+
+def batch_stats_of(classifier: Classifier, headers: np.ndarray) -> BatchStats:
+    """Uniform stats entry point for any :class:`Classifier`.
+
+    Backends that implement ``batch_stats`` (engine adapters, notably the
+    accelerator with its occupancy model) are used directly; plain
+    protocol implementers are wrapped.
+    """
+    stats_fn = getattr(classifier, "batch_stats", None)
+    if callable(stats_fn):
+        return stats_fn(headers)
+    return BatchStats(match=classifier.classify_batch(headers))

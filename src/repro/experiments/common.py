@@ -29,12 +29,12 @@ from ..classbench import generate_ruleset, generate_trace
 from ..core.errors import CapacityError
 from ..core.packet import PacketTrace
 from ..core.ruleset import RuleSet
+from ..engine import build_backend
+from ..engine.backends import AcceleratorClassifier, DecisionTreeClassifier
 from ..hw import (
-    Accelerator,
     AcceleratorRun,
     LayoutMeasurement,
     MemoryImage,
-    build_memory_image,
     measure_layout,
 )
 
@@ -162,33 +162,30 @@ class Pipeline:
     # ------------------------------------------------------------------
     def _build_software(self, wl: Workload) -> dict[str, Variant]:
         out = {}
-        for name, fn in (("hicuts", build_hicuts), ("hypercuts", build_hypercuts)):
+        for name in ("hicuts", "hypercuts"):
             ops = OpCounter()
-            tree = fn(
-                wl.ruleset, binth=BINTH_SOFTWARE, spfac=self.spfac, ops=ops
+            clf: DecisionTreeClassifier = build_backend(
+                name, wl.ruleset,
+                binth=BINTH_SOFTWARE, spfac=self.spfac, hw_mode=False, ops=ops,
             )
-            variant = Variant(name=name, hw=False, tree=tree, build_ops=ops)
-            variant.batch = tree.batch_lookup(wl.trace)
+            variant = Variant(name=name, hw=False, tree=clf.tree, build_ops=ops)
+            variant.batch = clf.tree.batch_lookup(wl.trace)
             out[name] = variant
         return out
 
     def _build_hardware(self, wl: Workload) -> dict[str, Variant]:
         out = {}
-        for name, fn in (("hicuts", build_hicuts), ("hypercuts", build_hypercuts)):
+        for name in ("hicuts", "hypercuts"):
             ops = OpCounter()
-            tree = fn(
-                wl.ruleset,
-                binth=BINTH_HARDWARE,
-                spfac=self.spfac,
-                hw_mode=True,
+            clf: AcceleratorClassifier = build_backend(
+                "accelerator", wl.ruleset,
+                algorithm=name, binth=BINTH_HARDWARE, spfac=self.spfac,
+                speed=self.speed, capacity_words=MEASUREMENT_CAPACITY_WORDS,
                 ops=ops,
             )
-            variant = Variant(name=name, hw=True, tree=tree, build_ops=ops)
-            variant.image = build_memory_image(
-                tree, speed=self.speed,
-                capacity_words=MEASUREMENT_CAPACITY_WORDS,
-            )
-            variant.run = Accelerator(variant.image).run_trace(wl.trace)
+            variant = Variant(name=name, hw=True, tree=clf.tree, build_ops=ops)
+            variant.image = clf.image
+            variant.run = clf.run_trace(wl.trace)
             variant.batch = None  # the run carries everything hw tables need
             out[name] = variant
         return out

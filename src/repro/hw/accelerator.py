@@ -145,6 +145,13 @@ class Accelerator:
         )
         return int(self.run_trace(trace).match[0])
 
+    def classify_batch(self, headers: np.ndarray) -> np.ndarray:
+        """Engine-protocol batch lookup: matched rule ids only."""
+        return self.run_trace(PacketTrace(headers, self.tree.schema)).match
+
+    def classify_trace(self, trace: PacketTrace) -> np.ndarray:
+        return self.run_trace(trace).match
+
 
 # ---------------------------------------------------------------------------
 # Cycle-accurate FSM

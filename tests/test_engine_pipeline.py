@@ -1,0 +1,123 @@
+"""Sharded streaming pipeline: exactness, aggregation, and edge cases.
+
+The load-bearing property: at every shard count the pipeline's output is
+bit-for-bit identical to single-shot ``classify_trace`` — chunking and
+multiprocessing must never change classification results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FIVE_TUPLE, PacketTrace
+from repro.core.errors import ConfigError
+from repro.energy import asic_model
+from repro.engine import ClassificationPipeline, build_backend
+
+
+@pytest.fixture(scope="module")
+def acc_small(acl_small):
+    return build_backend("accelerator", acl_small)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_matches_single_shot_accelerator(
+        self, acc_small, acl_small_trace, shards
+    ):
+        single = acc_small.classify_trace(acl_small_trace)
+        res = ClassificationPipeline(
+            acc_small, chunk_size=300, shards=shards
+        ).run(acl_small_trace)
+        assert np.array_equal(res.match, single)
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("backend", ["linear", "hicuts", "tuple_space"])
+    def test_matches_single_shot_software(
+        self, backend, shards, acl_small, acl_small_trace, acl_small_oracle
+    ):
+        clf = build_backend(backend, acl_small)
+        res = ClassificationPipeline(
+            clf, chunk_size=333, shards=shards
+        ).run(acl_small_trace)
+        assert np.array_equal(res.match, acl_small_oracle)
+
+    def test_uneven_final_chunk(self, acc_small, acl_small_trace):
+        # 2000 packets, chunk 750 -> chunks of 750/750/500.
+        res = ClassificationPipeline(acc_small, chunk_size=750).run(
+            acl_small_trace
+        )
+        assert [c.n_packets for c in res.chunks] == [750, 750, 500]
+        assert res.n_packets == acl_small_trace.n_packets
+
+
+class TestAggregation:
+    def test_chunk_stats_sum_to_totals(self, acc_small, acl_small_trace):
+        res = ClassificationPipeline(acc_small, chunk_size=256, shards=2).run(
+            acl_small_trace
+        )
+        assert sum(c.n_packets for c in res.chunks) == res.n_packets
+        assert sum(c.matched for c in res.chunks) == res.matched
+        assert res.occupancy is not None
+        assert sum(c.occupancy_sum for c in res.chunks) == int(
+            res.occupancy.sum()
+        )
+        assert 0.0 <= res.matched_fraction <= 1.0
+
+    def test_occupancy_matches_run_trace(self, acc_small, acl_small_trace):
+        run = acc_small.run_trace(acl_small_trace)
+        res = ClassificationPipeline(acc_small, chunk_size=512).run(
+            acl_small_trace
+        )
+        assert res.mean_occupancy() == pytest.approx(run.mean_occupancy())
+
+    def test_device_throughput_and_energy(self, acc_small, acl_small_trace):
+        res = ClassificationPipeline(acc_small, chunk_size=512).run(
+            acl_small_trace
+        )
+        mo = res.mean_occupancy()
+        assert mo is not None and mo >= 1.0
+        assert res.device_throughput_pps(226e6) == pytest.approx(226e6 / mo)
+        model = asic_model()
+        assert res.energy_per_packet_j(model) == pytest.approx(
+            model.energy_per_packet_j(mo)
+        )
+        assert res.throughput_pps() > 0
+
+    def test_software_backend_has_no_occupancy(self, acl_small, acl_small_trace):
+        res = ClassificationPipeline(
+            build_backend("linear", acl_small), chunk_size=512
+        ).run(acl_small_trace)
+        assert res.occupancy is None
+        assert res.mean_occupancy() is None
+        assert res.device_throughput_pps(226e6) is None
+
+
+class TestEdges:
+    def test_empty_trace(self, acc_small):
+        trace = PacketTrace(np.empty((0, 5), dtype=np.uint32), FIVE_TUPLE)
+        res = ClassificationPipeline(acc_small, shards=2).run(trace)
+        assert res.n_packets == 0
+        assert res.chunks == []
+        assert res.match.shape == (0,)
+
+    def test_chunk_larger_than_trace(self, acc_small, acl_small_trace):
+        res = ClassificationPipeline(acc_small, chunk_size=10**6).run(
+            acl_small_trace
+        )
+        assert len(res.chunks) == 1
+
+    def test_n_shards_reports_actual_workers(self, acc_small, acl_small_trace):
+        # A single chunk short-circuits to the single-process path even
+        # when more shards were requested; the result says what ran.
+        res = ClassificationPipeline(
+            acc_small, chunk_size=10**6, shards=4
+        ).run(acl_small_trace)
+        assert res.n_shards == 1
+
+    def test_invalid_parameters(self, acc_small):
+        with pytest.raises(ConfigError):
+            ClassificationPipeline(acc_small, chunk_size=0)
+        with pytest.raises(ConfigError):
+            ClassificationPipeline(acc_small, shards=0)
