@@ -19,6 +19,7 @@ from .base import (
     Node,
     TreeStats,
 )
+from .flat_tree import FlatTree
 from .hicuts import HiCutsBuilder, HiCutsConfig, build_hicuts
 from .incremental import IncrementalClassifier, UpdateStats
 from .hypercuts import HyperCutsBuilder, HyperCutsConfig, build_hypercuts
@@ -36,6 +37,7 @@ __all__ = [
     "LookupResult",
     "Node",
     "TreeStats",
+    "FlatTree",
     "HiCutsBuilder",
     "HiCutsConfig",
     "build_hicuts",

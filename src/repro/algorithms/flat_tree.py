@@ -1,0 +1,348 @@
+"""Compiled flat-array traversal kernels for decision trees.
+
+The paper's core insight is a *layout* insight: one pointer-free 4800-bit
+word per node and mask/shift/add child indexing make hardware traversal
+fast and energy-cheap.  :class:`FlatTree` applies the same insight to the
+simulator itself.  It compiles a built :class:`~repro.algorithms.base.
+DecisionTree` — a list of Python ``Node`` objects — into pure NumPy
+structure-of-arrays buffers:
+
+* per-node scalars: ``kind``, children/leaf/pushed CSR offsets;
+* per-(axis-slot, node) cut tables: cut dimension, cut count, row-major
+  stride, region bounds and span (padded to the tree's widest node, so
+  gather shapes are static);
+* a CSR children table (``child_base`` + one flat ``int32`` id array);
+* CSR leaf rule lists and pushed rule lists;
+* for grid trees, precomputed per-node masks and shifts — the software
+  twin of the hardware's mask/shift/add unit (spans and cut counts are
+  powers of two on the grid, so ``(v % span) * ncuts // span`` is exactly
+  ``(v & mask) >> shift``).
+
+:meth:`FlatTree.batch_lookup` then advances *all* active packets one tree
+level per iteration with gather/scatter indexing: there is no
+``np.unique`` grouping, no Python loop over nodes, and no per-packet
+work — the only Python-level loops are over the (at most ``ndim``) axis
+slots and over tree depth.  Leaf and pushed-rule linear searches are
+resolved with a segmented first-match kernel (exact-size ``np.repeat``
+expansion + ``np.minimum.reduceat``), so the work performed equals the
+comparisons the reference traversal counts.
+
+The kernel reproduces :meth:`DecisionTree.batch_lookup_reference`
+bit-for-bit on every :class:`~repro.algorithms.base.BatchLookup` field
+(``match``, ``internal_nodes``, ``leaf_id``, ``leaf_size``, ``match_pos``,
+``rules_compared``), including grid-mode congruence indexing and the
+non-grid compacted-region dead path — the conformance suite in
+``tests/test_flat_tree.py`` asserts it, which keeps the energy and
+occupancy models built on those statistics valid unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import BuildError
+from ..core.packet import PacketTrace
+
+from .base import EMPTY_CHILD, LEAF, BatchLookup
+
+#: Sentinel larger than any within-leaf index, used by the segmented
+#: first-match reduction.
+_NO_HIT = np.int64(1) << 62
+
+#: Padding upper bound for unused axis slots in software mode — larger
+#: than any 32-bit field value, so padded slots never flag "outside".
+_PAD_HI = np.int64(1) << 40
+
+
+class FlatTree:
+    """A decision tree compiled into structure-of-arrays kernel buffers."""
+
+    def __init__(self, tree) -> None:
+        self.tree = tree
+        self.schema = tree.schema
+        self.grid_mode = bool(tree.grid_mode)
+        nodes = tree.nodes
+        n_nodes = len(nodes)
+        arrays = tree.ruleset.arrays
+
+        self.kind = np.empty(n_nodes, dtype=np.int8)
+
+        # Axis-slot tables, padded to the widest internal node.
+        naxes = 1
+        for node in nodes:
+            if not node.is_leaf and len(node.cut_dims) > naxes:
+                naxes = len(node.cut_dims)
+        self.naxes = naxes
+        shape = (naxes, n_nodes)
+        self.ax_dim = np.zeros(shape, dtype=np.int64)
+        self.ax_ncuts = np.ones(shape, dtype=np.int64)
+        self.ax_stride = np.zeros(shape, dtype=np.int64)
+        self.ax_lo = np.zeros(shape, dtype=np.int64)
+        self.ax_hi = np.full(shape, _PAD_HI, dtype=np.int64)
+        self.ax_span = np.ones(shape, dtype=np.int64)
+
+        # CSR tables: children, leaf rule lists, pushed rule lists.
+        self.child_base = np.zeros(n_nodes, dtype=np.int64)
+        self.leaf_base = np.zeros(n_nodes, dtype=np.int64)
+        self.leaf_len = np.zeros(n_nodes, dtype=np.int64)
+        self.push_base = np.zeros(n_nodes, dtype=np.int64)
+        self.push_len = np.zeros(n_nodes, dtype=np.int64)
+        children: list[np.ndarray] = []
+        leaf_rules: list[np.ndarray] = []
+        push_rules: list[np.ndarray] = []
+        child_off = leaf_off = push_off = 0
+
+        for nid, node in enumerate(nodes):
+            self.kind[nid] = node.kind
+            if node.is_leaf:
+                self.leaf_base[nid] = leaf_off
+                self.leaf_len[nid] = node.rule_ids.size
+                leaf_rules.append(np.asarray(node.rule_ids, dtype=np.int64))
+                leaf_off += node.rule_ids.size
+                continue
+            strides = node.child_strides()
+            for a, (dim, ncuts, stride) in enumerate(
+                zip(node.cut_dims, node.cut_counts, strides)
+            ):
+                lo, hi = node.region[dim]
+                self.ax_dim[a, nid] = dim
+                self.ax_ncuts[a, nid] = ncuts
+                self.ax_stride[a, nid] = stride
+                self.ax_lo[a, nid] = lo
+                self.ax_hi[a, nid] = hi
+                self.ax_span[a, nid] = hi - lo + 1
+            self.child_base[nid] = child_off
+            children.append(np.asarray(node.children, dtype=np.int32))
+            child_off += node.n_children
+            if node.pushed.size:
+                self.push_base[nid] = push_off
+                self.push_len[nid] = node.pushed.size
+                push_rules.append(np.asarray(node.pushed, dtype=np.int64))
+                push_off += node.pushed.size
+
+        def _cat(parts: list[np.ndarray], dtype) -> np.ndarray:
+            return (
+                np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
+            ).astype(dtype, copy=False)
+
+        self.children = _cat(children, np.int32)
+        self.leaf_rules = _cat(leaf_rules, np.int64)
+        self.push_rules = _cat(push_rules, np.int64)
+        self.has_pushed = bool(self.push_rules.size)
+
+        # Rule intervals re-ordered by CSR slot (``bounds[d, pos]`` is the
+        # bound of the rule stored at flat leaf/pushed position ``pos``).
+        # Positions within a packet's list are consecutive, so the lookup
+        # gathers walk these tables almost sequentially — and ``uint32``
+        # keeps them half the width of rule-id indirection.  ``*_span``
+        # holds ``hi - lo`` so the interval test is a single unsigned
+        # compare: ``(v - lo) <= span`` (uint32 wraparound makes ``v < lo``
+        # read as a huge value).  Identical outcome to ``lo <= v <= hi``.
+        self.leaf_lo = arrays.lo[:, self.leaf_rules]
+        self.leaf_span = arrays.hi[:, self.leaf_rules] - self.leaf_lo
+        self.push_lo = arrays.lo[:, self.push_rules]
+        self.push_span = arrays.hi[:, self.push_rules] - self.push_lo
+
+        # Grid fast path: every internal span and cut count is a power of
+        # two (the alignment invariant grid trees are built around), so
+        # child indexing compiles to the hardware's mask/shift unit.
+        # ``(v % span) * ncuts // span == (v & (span-1)) >> log2(span/ncuts)``.
+        self.pow2 = False
+        if self.grid_mode:
+            spans = self.ax_span
+            ncuts = self.ax_ncuts
+            if (
+                bool((spans & (spans - 1) == 0).all())
+                and bool((ncuts & (ncuts - 1) == 0).all())
+            ):
+                self.pow2 = True
+                self.ax_mask = spans - 1
+                # log2 of a power of two is exact in float64 (spans fit
+                # well under 2**53).
+                log2span = np.log2(spans.astype(np.float64)).astype(np.int64)
+                log2cuts = np.log2(ncuts.astype(np.float64)).astype(np.int64)
+                self.ax_shift = np.maximum(log2span - log2cuts, 0)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.kind)
+
+    def nbytes(self) -> int:
+        """Total size of the compiled kernel buffers."""
+        total = 0
+        for name in (
+            "kind", "ax_dim", "ax_ncuts", "ax_stride",
+            "ax_lo", "ax_hi", "ax_span", "child_base", "leaf_base",
+            "leaf_len", "push_base", "push_len", "children", "leaf_rules",
+            "push_rules", "leaf_lo", "leaf_span", "push_lo", "push_span",
+        ):
+            total += getattr(self, name).nbytes
+        if self.pow2:
+            total += self.ax_mask.nbytes + self.ax_shift.nbytes
+        return total
+
+    # ------------------------------------------------------------------
+    def batch_lookup(self, trace: PacketTrace) -> BatchLookup:
+        """Classify a whole trace; see module docstring for the scheme."""
+        headers32 = trace.headers  # uint32, used by the match kernels
+        headers = headers32.astype(np.int64)  # traversal arithmetic
+        n = headers.shape[0]
+        match = np.full(n, -1, dtype=np.int64)
+        internal_nodes = np.zeros(n, dtype=np.int32)
+        match_pos = np.full(n, -1, dtype=np.int32)
+        leaf_id = np.full(n, -1, dtype=np.int32)
+        leaf_size = np.zeros(n, dtype=np.int32)
+        rules_compared = np.zeros(n, dtype=np.int32)
+
+        cur = np.zeros(n, dtype=np.int32)
+        active = np.arange(n, dtype=np.int64)
+        guard = 0
+        while active.size:
+            guard += 1
+            if guard > 10_000:
+                raise BuildError("batch traversal did not terminate")
+            nodes = cur[active].astype(np.int64)
+            at_leaf = self.kind[nodes] == LEAF
+            if at_leaf.any():
+                self._resolve_leaves(
+                    active[at_leaf], nodes[at_leaf], headers32, match,
+                    match_pos, leaf_id, leaf_size, rules_compared,
+                )
+                cur[active[at_leaf]] = -2
+            internal = ~at_leaf
+            if internal.any():
+                sel = active[internal]
+                nids = nodes[internal]
+                internal_nodes[sel] += 1
+                if self.has_pushed:
+                    plen = self.push_len[nids]
+                    pm = plen > 0
+                    if pm.any():
+                        self._match_lists(
+                            sel[pm], self.push_base[nids[pm]], plen[pm],
+                            self.push_rules, self.push_lo, self.push_span,
+                            headers32, match, rules_compared,
+                        )
+                child, dead = self._advance(sel, nids, headers)
+                if dead.any():
+                    leaf_size[sel[dead]] = 0
+                cur[sel] = np.where(dead, np.int32(-2), child)
+            active = active[cur[active] >= 0]
+        return BatchLookup(
+            match=match,
+            internal_nodes=internal_nodes,
+            leaf_id=leaf_id,
+            leaf_size=leaf_size,
+            match_pos=match_pos,
+            rules_compared=rules_compared,
+        )
+
+    # ------------------------------------------------------------------
+    def _advance(
+        self, sel: np.ndarray, nids: np.ndarray, headers: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Child node id per packet plus the dead-path mask.
+
+        One gathered expression per axis slot; padded slots contribute
+        stride 0, so mixed-arity nodes advance in the same pass.
+        """
+        flat = np.zeros(sel.size, dtype=np.int64)
+        outside = np.zeros(sel.size, dtype=bool)
+        for a in range(self.naxes):
+            raw = headers[sel, self.ax_dim[a, nids]]
+            stride = self.ax_stride[a, nids]
+            if self.pow2:
+                # The hardware datapath: mask the position-independent
+                # relative bits, shift down to the cut resolution.
+                coord = (raw & self.ax_mask[a, nids]) >> self.ax_shift[a, nids]
+            else:
+                span = self.ax_span[a, nids]
+                ncuts = self.ax_ncuts[a, nids]
+                if self.grid_mode:
+                    v = raw % span
+                else:
+                    lo = self.ax_lo[a, nids]
+                    outside |= (raw < lo) | (raw > self.ax_hi[a, nids])
+                    v = np.clip(raw - lo, 0, span - 1)
+                coord = np.where(ncuts >= span, v, (v * ncuts) // span)
+            flat += coord * stride
+        child = self.children[self.child_base[nids] + flat]
+        return child, (child == EMPTY_CHILD) | outside
+
+    # ------------------------------------------------------------------
+    def _resolve_leaves(
+        self, sel: np.ndarray, nids: np.ndarray, headers32: np.ndarray,
+        match: np.ndarray, match_pos: np.ndarray, leaf_id: np.ndarray,
+        leaf_size: np.ndarray, rules_compared: np.ndarray,
+    ) -> None:
+        lens = self.leaf_len[nids]
+        leaf_id[sel] = nids
+        leaf_size[sel] = lens
+        nz = lens > 0
+        if not nz.any():
+            return
+        self._match_lists(
+            sel[nz], self.leaf_base[nids[nz]], lens[nz], self.leaf_rules,
+            self.leaf_lo, self.leaf_span, headers32, match, rules_compared,
+            match_pos,
+        )
+
+    def _match_lists(
+        self, sel: np.ndarray, base: np.ndarray, lens: np.ndarray,
+        rules_flat: np.ndarray, lo_tab: np.ndarray, span_tab: np.ndarray,
+        headers32: np.ndarray, match: np.ndarray,
+        rules_compared: np.ndarray, match_pos: np.ndarray | None = None,
+    ) -> None:
+        """Segmented first-match over per-packet rule lists (CSR).
+
+        Expands exactly ``lens.sum()`` (packet, rule) pairs — the same
+        comparison count the reference charges.  The first two dimensions
+        (the highly selective IP prefixes on 5-tuple rulesets) are tested
+        over all pairs; the surviving pair set is then compacted and the
+        remaining dimensions only touch the survivors, which cuts the
+        gather volume by the survivors' fraction.  The first hit per
+        packet falls out of one ``np.minimum.reduceat`` over the segment
+        layout.  Priority resolution against the running best (pushed
+        rules seen higher up the path) matches the reference's
+        compare-and-keep-smaller update.
+        """
+        starts = np.zeros(lens.size, dtype=np.int64)
+        np.cumsum(lens[:-1], out=starts[1:])
+        total = int(starts[-1] + lens[-1])
+        within = np.arange(total, dtype=np.int64) - np.repeat(starts, lens)
+        pos = np.repeat(base, lens) + within
+        ndim = self.schema.ndim
+        lead = min(2, ndim)
+        ok = np.ones(total, dtype=bool)
+        for d in range(lead):
+            v = np.repeat(headers32[sel, d], lens)
+            ok &= (v - lo_tab[d, pos]) <= span_tab[d, pos]
+        if lead < ndim:
+            alive = np.nonzero(ok)[0]
+            pair_pkt = np.repeat(
+                np.arange(sel.size, dtype=np.int64), lens
+            )[alive]
+            for d in range(lead, ndim):
+                va = headers32[sel, d][pair_pkt]
+                pa = pos[alive]
+                keep = (va - lo_tab[d, pa]) <= span_tab[d, pa]
+                alive = alive[keep]
+                pair_pkt = pair_pkt[keep]
+            score = np.full(total, _NO_HIT, dtype=np.int64)
+            score[alive] = within[alive]
+        else:
+            score = np.where(ok, within, _NO_HIT)
+        first = np.minimum.reduceat(score, starts)
+        hit_m = first < _NO_HIT
+        first32 = np.where(hit_m, first, -1).astype(np.int32)
+        if match_pos is not None:
+            match_pos[sel] = first32
+        rules_compared[sel] += np.where(hit_m, first + 1, lens).astype(
+            np.int32
+        )
+        hit = sel[hit_m]
+        cand = rules_flat[base[hit_m] + first[hit_m]]
+        cur_best = match[hit]
+        better = (cur_best < 0) | (cand < cur_best)
+        match[hit[better]] = cand[better]

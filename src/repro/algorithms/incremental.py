@@ -152,6 +152,8 @@ class IncrementalClassifier:
         self.tree._arrays = None  # defensive: tree reads ruleset.arrays
         # Invalidate the cached SoA view so new bounds are visible.
         self.tree.ruleset._arrays = None
+        # The compiled flat kernel snapshots nodes AND rule bounds.
+        self.tree.invalidate_cache()
 
         stats = UpdateStats()
         root = self.tree.nodes[0]
@@ -167,6 +169,7 @@ class IncrementalClassifier:
         if not 0 <= rule_id < len(self._ruleset) or not self._live[rule_id]:
             raise BuildError(f"rule {rule_id} is not live")
         self._live[rule_id] = False
+        self.tree.invalidate_cache()
         stats = UpdateStats()
         for node in self.tree.nodes:
             if node.is_leaf and node.rule_ids.size:

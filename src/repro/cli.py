@@ -154,12 +154,33 @@ def cmd_bench(args) -> int:
     rs = _load_or_generate(args)
     trace = _load_or_generate_trace(args, rs)
     clf = _engine_classifier(rs, args)
+    if args.persistent and args.shards < 2:
+        print(
+            "warning: --persistent needs --shards >= 2 to fork a worker "
+            "pool; running single-process",
+            file=sys.stderr,
+        )
     pipeline = ClassificationPipeline(
-        clf, chunk_size=args.chunk_size, shards=args.shards
+        clf, chunk_size=args.chunk_size, shards=args.shards,
+        persistent=args.persistent,
     )
-    res = pipeline.run(trace)
+    try:
+        res = pipeline.run(trace)
+        for i in range(1, args.repeats):
+            rerun = pipeline.run(trace)
+            print(f"run {i + 1}/{args.repeats}: "
+                  f"{rerun.throughput_pps():,.0f} packets/s "
+                  f"(wall clock {rerun.elapsed_s * 1e3:.1f} ms)")
+            res = rerun
+        # The persistent pool is forked lazily on first use, so its
+        # existence after the runs says whether the mode engaged.
+        pool_engaged = pipeline._pool is not None
+    finally:
+        pipeline.close()
+    pool_mode = "persistent" if pool_engaged else "per-run"
     print(f"backend: {res.backend}  shards: {res.n_shards}  "
-          f"chunk: {res.chunk_size} packets  chunks: {len(res.chunks)}")
+          f"chunk: {res.chunk_size} packets  chunks: {len(res.chunks)}  "
+          f"pool: {pool_mode}")
     print(f"classified {res.n_packets} packets, {res.matched} matched "
           f"({100 * res.matched_fraction:.1f}%)")
     print(f"pipeline throughput: {res.throughput_pps():,.0f} packets/s "
@@ -247,6 +268,12 @@ def main(argv: list[str] | None = None) -> int:
                    help="worker shards (fork-based; 1 = single process)")
     n.add_argument("--chunk-size", type=int, default=4096,
                    help="packets per streamed chunk")
+    n.add_argument("--persistent", action="store_true",
+                   help="reuse one forked worker pool across runs with "
+                        "shared-memory results (see --repeats)")
+    n.add_argument("--repeats", type=int, default=1,
+                   help="run the trace N times (shows the persistent "
+                        "pool's fork-amortisation win)")
     n.set_defaults(fn=cmd_bench)
 
     t = sub.add_parser("tables", help="regenerate the paper's tables")

@@ -202,7 +202,9 @@ class RuleArrays:
     NumPy.
     """
 
-    __slots__ = ("schema", "n", "lo", "hi", "glo", "ghi", "priority", "action")
+    __slots__ = (
+        "schema", "n", "lo", "hi", "span", "glo", "ghi", "priority", "action",
+    )
 
     def __init__(self, rules: Sequence[Rule], schema: FieldSchema) -> None:
         self.schema = schema
@@ -223,6 +225,9 @@ class RuleArrays:
                 g0, g1 = grid_span(lo, hi, schema.widths[d])
                 self.glo[d, i] = g0
                 self.ghi[d, i] = g1
+        # Interval widths for the single-compare test ``(v - lo) <= span``
+        # (uint32 wraparound turns ``v < lo`` into a huge value).
+        self.span = self.hi - self.lo
 
     def match_mask(self, header: Sequence[int]) -> np.ndarray:
         """Boolean mask of rules matching ``header`` (vectorised)."""
@@ -237,17 +242,50 @@ class RuleArrays:
         idx = np.nonzero(mask)[0]
         return int(idx[0]) if idx.size else -1
 
-    def batch_match(self, headers: np.ndarray) -> np.ndarray:
+    def batch_match(
+        self,
+        headers: np.ndarray,
+        *,
+        chunk_size: int = 512,
+        rule_block: int = 256,
+    ) -> np.ndarray:
         """First-match indices for an ``(n_packets, ndim)`` header matrix.
 
         This is the linear-search oracle used by tests and the energy model
-        for the software baseline; O(n_packets * n_rules) but fully
-        vectorised over rules.
+        for the software baseline.  Packets are processed in chunks and,
+        within a chunk, rules in priority-ordered blocks: each block is one
+        ``(chunk, rule_block)`` vectorised interval test over the packets
+        still unresolved, and the scan stops early once every packet in
+        the chunk has matched — worst case O(n_packets * n_rules), typical
+        cost proportional to how deep the first match sits.
         """
+        headers = np.asarray(headers)
         n_pkts = headers.shape[0]
         out = np.full(n_pkts, -1, dtype=np.int64)
-        for p in range(n_pkts):
-            out[p] = self.first_match(headers[p])
+        if n_pkts == 0 or self.n == 0:
+            return out
+        headers = headers.astype(np.uint32, copy=False)
+        for p0 in range(0, n_pkts, chunk_size):
+            chunk = headers[p0:p0 + chunk_size]
+            unresolved = np.arange(chunk.shape[0], dtype=np.int64)
+            for r0 in range(0, self.n, rule_block):
+                r1 = min(r0 + rule_block, self.n)
+                h = chunk[unresolved]
+                ok = (
+                    (h[:, 0][:, None] - self.lo[0, r0:r1][None, :])
+                    <= self.span[0, r0:r1][None, :]
+                )
+                for d in range(1, self.schema.ndim):
+                    v = h[:, d][:, None]
+                    ok &= (v - self.lo[d, r0:r1][None, :]) <= self.span[
+                        d, r0:r1
+                    ][None, :]
+                hit = ok.any(axis=1)
+                if hit.any():
+                    out[p0 + unresolved[hit]] = r0 + ok[hit].argmax(axis=1)
+                    unresolved = unresolved[~hit]
+                    if unresolved.size == 0:
+                        break
         return out
 
     def distinct_range_counts(self, rule_ids: np.ndarray) -> list[int]:

@@ -174,13 +174,13 @@ def _parse_filter_line(line: str, priority: int) -> Rule:
     # Tokenize: prefixes and proto are whitespace-free; port ranges contain
     # "lo : hi" so we re-join around ':'.
     parts = line.replace(":", " : ").split()
-    if parts and parts[0].startswith("@"):
-        parts[0] = parts[0][1:]
-    # Expected layout: sip dip slo : shi dlo : dhi proto [flags]
+    # Expected layout: sip dip slo : shi dlo : dhi proto [flags]; the
+    # source-IP token may carry ClassBench's leading ``@`` (the prefix
+    # regex accepts it either way).
     if len(parts) < 9:
         raise RuleFormatError(f"too few tokens in {line!r}")
-    sip = _parse_ip_prefix(parts[0] if parts[0].startswith("@") else "@" + parts[0])
-    dip = _parse_ip_prefix("@" + parts[1])
+    sip = _parse_ip_prefix(parts[0])
+    dip = _parse_ip_prefix(parts[1])
     if parts[3] != ":" or parts[6] != ":":
         raise RuleFormatError(f"bad port ranges in {line!r}")
     sport = (int(parts[2]), int(parts[4]))

@@ -19,7 +19,13 @@ from .pipeline import (
     ClassificationPipeline,
     PipelineResult,
 )
-from .protocol import BatchStats, Classifier, ClassifierBase, batch_stats_of
+from .protocol import (
+    BatchStats,
+    Classifier,
+    ClassifierBase,
+    batch_stats_of,
+    warm_batch_state,
+)
 from .registry import (
     BackendSpec,
     available_backends,
@@ -40,6 +46,7 @@ __all__ = [
     "Classifier",
     "ClassifierBase",
     "batch_stats_of",
+    "warm_batch_state",
     "BackendSpec",
     "available_backends",
     "backend_spec",

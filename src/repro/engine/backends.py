@@ -7,7 +7,8 @@ adapters here wrap the structures that need a build pipeline:
 
 * :class:`DecisionTreeClassifier` — builds a HiCuts or HyperCuts tree
   (software or grid/hardware mode) and serves lookups through the
-  vectorised batch traversal;
+  compiled :class:`~repro.algorithms.flat_tree.FlatTree` kernel (the
+  tree's ``batch_lookup`` fast path), eagerly compiled at build time;
 * :class:`AcceleratorClassifier` — builds the grid-mode tree, places and
   encodes it into the 4800-bit-word memory image, and serves lookups
   through the vectorised accelerator model, reporting per-packet
@@ -64,6 +65,10 @@ class DecisionTreeClassifier(ClassifierBase):
         self.ruleset = ruleset
         self.schema = ruleset.schema
         self.tree = _build_tree(ruleset, algorithm, binth, spfac, hw_mode, ops)
+        # Compile the flat-array kernel eagerly: serving adapters are
+        # built once and queried many times (and forked pipeline workers
+        # inherit the compiled buffers copy-on-write).
+        self.tree.flat
         self.build_ops = ops
 
     def classify(self, header) -> int:

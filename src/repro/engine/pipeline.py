@@ -18,6 +18,19 @@ Sharding uses ``fork``-based multiprocessing when the platform offers it
 (the built classifier and the trace are inherited copy-on-write, so
 nothing large is pickled); elsewhere — or with ``shards=1`` — it falls
 back to chunked single-process streaming with identical results.
+
+Two fork modes exist:
+
+* *transient* (default) — a fresh pool per ``run()``; the classifier and
+  the trace are inherited copy-on-write, chunk results come back pickled
+  through the pool;
+* *persistent* (``persistent=True``) — one pool is forked on first use
+  and reused across ``run()`` calls, amortising fork + warm-up cost over
+  a serving session.  Per run, the trace is published to the workers
+  through ``multiprocessing.shared_memory`` and each worker writes its
+  match/occupancy slice straight into shared output buffers — the only
+  pickled traffic is per-chunk scalars, i.e. a zero-copy result path.
+  Results are bit-identical to the other modes at every shard count.
 """
 
 from __future__ import annotations
@@ -30,7 +43,7 @@ import numpy as np
 
 from ..core.errors import ConfigError
 from ..core.packet import PacketTrace
-from .protocol import BatchStats, Classifier, batch_stats_of
+from .protocol import BatchStats, Classifier, batch_stats_of, warm_batch_state
 
 #: Default packets per chunk: large enough to amortise NumPy dispatch,
 #: small enough that per-chunk stats stay meaningful for live reporting.
@@ -38,13 +51,65 @@ DEFAULT_CHUNK_SIZE = 4096
 
 #: Module global holding (classifier, headers) across a ``fork`` so
 #: worker shards inherit them copy-on-write instead of via pickling.
-_SHARD_STATE: tuple[Classifier, np.ndarray] | None = None
-
+#: ``headers`` is ``None`` for persistent pools (the trace then arrives
+#: through shared memory instead).
+_SHARD_STATE: tuple[Classifier, np.ndarray | None] | None = None
 
 def _run_chunk(bounds: tuple[int, int]) -> tuple[np.ndarray, np.ndarray | None]:
     assert _SHARD_STATE is not None
     classifier, headers = _SHARD_STATE
     return _run_chunk_local(classifier, headers, bounds)
+
+
+def _run_chunk_shm(task) -> bool:
+    """Persistent-pool worker: classify one chunk, write results into the
+    shared output buffers, return only whether occupancy was modelled
+    (the parent aggregates everything else from the shared arrays).
+
+    Segments are attached per task and closed before returning, so an
+    idle worker never pins a previous run's (parent-unlinked) segments;
+    an attach is a ``shm_open`` + ``mmap``, microseconds next to a
+    chunk's classification.  Attaching re-registers the name with the
+    resource tracker, but the workers are forked *after* the parent has
+    started the tracker (see ``ClassificationPipeline._ensure_pool``),
+    so parent and workers share one tracker process and the duplicate
+    registration is a set no-op — the parent's unlink after each run
+    remains the single owner of the segment lifecycle.
+    """
+    from multiprocessing import shared_memory
+
+    in_name, shape, dtype, out_name, occ_name, bounds = task
+    assert _SHARD_STATE is not None
+    classifier = _SHARD_STATE[0]
+    n = shape[0]
+    start, end = bounds
+    segments = []
+
+    def _attach(name: str):
+        shm = shared_memory.SharedMemory(name=name)
+        segments.append(shm)
+        return shm
+
+    try:
+        headers = np.ndarray(shape, dtype=dtype, buffer=_attach(in_name).buf)
+        match, occ = _run_chunk_local(classifier, headers, bounds)
+        has_occ = occ is not None
+        np.ndarray((n,), np.int64, buffer=_attach(out_name).buf)[
+            start:end
+        ] = match
+        if has_occ:
+            np.ndarray((n,), np.int64, buffer=_attach(occ_name).buf)[
+                start:end
+            ] = occ
+        # Drop the ndarray views before closing their backing segments.
+        del headers, match, occ
+    finally:
+        for shm in segments:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - error-path views
+                pass  # the view dies with this task's frame anyway
+    return has_occ
 
 
 @dataclass(frozen=True)
@@ -115,7 +180,21 @@ class PipelineResult:
 
 
 class ClassificationPipeline:
-    """Stream traces through a classifier in chunks across N shards."""
+    """Stream traces through a classifier in chunks across N shards.
+
+    With ``persistent=True`` the forked worker pool survives across
+    ``run()`` calls (create once, serve many traces) and chunk results
+    travel through shared memory instead of pickles.  Use
+    :meth:`close` — or the pipeline as a context manager — to tear the
+    pool down deterministically.
+
+    The persistent workers hold the *copy-on-write snapshot of the
+    classifier taken when the pool forked*: mutating the classifier
+    afterwards (e.g. ``IncrementalClassifier.insert``) does not reach
+    them.  Call :meth:`close` after a mutation — the next ``run()``
+    forks a fresh pool from the updated classifier.  (Transient mode
+    re-forks per run and needs no such step.)
+    """
 
     def __init__(
         self,
@@ -123,6 +202,7 @@ class ClassificationPipeline:
         *,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         shards: int = 1,
+        persistent: bool = False,
     ) -> None:
         if chunk_size < 1:
             raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -131,6 +211,60 @@ class ClassificationPipeline:
         self.classifier = classifier
         self.chunk_size = chunk_size
         self.shards = shards
+        self.persistent = persistent
+        self._pool = None
+        self._pool_size = 0
+
+    # -- persistent-pool lifecycle --------------------------------------
+    def close(self) -> None:
+        """Tear down the persistent worker pool (no-op otherwise)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_size = 0
+
+    def __enter__(self) -> "ClassificationPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _ensure_pool(self, ndim: int):
+        """Fork the persistent pool on first use; reuse it afterwards."""
+        if self._pool is None:
+            import multiprocessing
+
+            global _SHARD_STATE
+            ctx = multiprocessing.get_context("fork")
+            try:
+                # Start the resource tracker *before* forking: the
+                # workers then share the parent's tracker process, which
+                # keeps shared-memory bookkeeping single-owner (see
+                # ``_attach_shm``).
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            except Exception:  # pragma: no cover - tracker is stdlib
+                pass
+            # Build every lazy batch structure before forking so workers
+            # inherit them copy-on-write.
+            warm_batch_state(self.classifier, ndim)
+            self._pool_size = min(self.shards, os.cpu_count() or 1)
+            _SHARD_STATE = (self.classifier, None)
+            try:
+                self._pool = ctx.Pool(processes=self._pool_size)
+            finally:
+                # Workers hold their copy-on-write snapshot; the parent
+                # global is only needed across the fork itself.
+                _SHARD_STATE = None
+        return self._pool
 
     # ------------------------------------------------------------------
     def _chunk_bounds(self, n: int) -> list[tuple[int, int]]:
@@ -156,7 +290,10 @@ class ClassificationPipeline:
         bounds = self._chunk_bounds(n)
         started = time.perf_counter()
         if self.shards > 1 and len(bounds) > 1 and self._fork_available():
-            outputs, workers = self._run_forked(headers, bounds)
+            if self.persistent:
+                outputs, workers = self._run_persistent(headers, bounds)
+            else:
+                outputs, workers = self._run_forked(headers, bounds)
         else:
             outputs = [_run_chunk_local(self.classifier, headers, b) for b in bounds]
             workers = 1
@@ -174,13 +311,67 @@ class ClassificationPipeline:
         # Warm any lazily-built batch structures (e.g. the tuple-space
         # probe tables) in the parent so the forked children inherit
         # them copy-on-write instead of each rebuilding them.
-        batch_stats_of(self.classifier, headers[:0])
+        warm_batch_state(self.classifier, headers.shape[1])
         _SHARD_STATE = (self.classifier, headers)
         try:
             with ctx.Pool(processes=workers) as pool:
                 return pool.map(_run_chunk, bounds), workers
         finally:
             _SHARD_STATE = None
+
+    def _run_persistent(
+        self, headers: np.ndarray, bounds: list[tuple[int, int]]
+    ) -> tuple[list[tuple[np.ndarray, np.ndarray | None]], int]:
+        """One run over the long-lived pool with shared-memory transport.
+
+        The trace is copied once into a shared input segment; workers
+        scatter their match/occupancy slices into shared output segments
+        and return scalars only.  All segments are unlinked before the
+        method returns — workers drop their stale attachments at the
+        start of the next run.
+        """
+        from multiprocessing import shared_memory
+
+        pool = self._ensure_pool(headers.shape[1])
+        n = headers.shape[0]
+        segments = []
+
+        def _create(size: int) -> shared_memory.SharedMemory:
+            shm = shared_memory.SharedMemory(create=True, size=max(1, size))
+            segments.append(shm)
+            return shm
+
+        try:
+            shm_in = _create(headers.nbytes)
+            shm_out = _create(n * 8)
+            shm_occ = _create(n * 8)
+            np.ndarray(headers.shape, headers.dtype, buffer=shm_in.buf)[:] = (
+                headers
+            )
+            tasks = [
+                (
+                    shm_in.name, headers.shape, str(headers.dtype),
+                    shm_out.name, shm_occ.name, b,
+                )
+                for b in bounds
+            ]
+            results = pool.map(_run_chunk_shm, tasks)
+            match = np.ndarray((n,), np.int64, buffer=shm_out.buf).copy()
+            has_occ = all(results)
+            occupancy = (
+                np.ndarray((n,), np.int64, buffer=shm_occ.buf).copy()
+                if has_occ
+                else None
+            )
+        finally:
+            for shm in segments:
+                shm.close()
+                shm.unlink()
+        outputs = [
+            (match[s:e], None if occupancy is None else occupancy[s:e])
+            for s, e in bounds
+        ]
+        return outputs, min(self._pool_size, len(bounds))
 
     def _aggregate(
         self,

@@ -117,3 +117,14 @@ def batch_stats_of(classifier: Classifier, headers: np.ndarray) -> BatchStats:
     if callable(stats_fn):
         return stats_fn(headers)
     return BatchStats(match=classifier.classify_batch(headers))
+
+
+def warm_batch_state(classifier: Classifier, ndim: int) -> None:
+    """Materialise every lazily-built batch structure of ``classifier``.
+
+    Classifying an empty batch forces compiled flat-tree kernels, probe
+    tables and similar caches into existence.  The pipeline calls this in
+    the parent before forking worker shards, so the children inherit the
+    built structures copy-on-write instead of each rebuilding them.
+    """
+    batch_stats_of(classifier, np.empty((0, ndim), dtype=np.uint32))

@@ -109,6 +109,10 @@ class Accelerator:
     def __init__(self, image: MemoryImage) -> None:
         self.image = image
         self.tree = image.tree
+        # Compile the flat traversal kernel up front: every run_trace
+        # batch-walks the tree, and forked pipeline shards inherit the
+        # compiled buffers copy-on-write instead of each recompiling.
+        self.tree.flat
         n_nodes = len(self.tree.nodes)
         # Dense per-node placement arrays for vectorised occupancy math.
         self._pos = np.zeros(n_nodes, dtype=np.int64)

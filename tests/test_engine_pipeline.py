@@ -94,6 +94,83 @@ class TestAggregation:
         assert res.device_throughput_pps(226e6) is None
 
 
+class TestPersistentPool:
+    """The persistent fork-pool with shared-memory result transport."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_bit_identical_across_repeated_runs(
+        self, acc_small, acl_small_trace, shards
+    ):
+        single = acc_small.classify_trace(acl_small_trace)
+        run = acc_small.run_trace(acl_small_trace)
+        with ClassificationPipeline(
+            acc_small, chunk_size=300, shards=shards, persistent=True
+        ) as pipeline:
+            for _ in range(3):
+                res = pipeline.run(acl_small_trace)
+                assert np.array_equal(res.match, single)
+                assert res.occupancy is not None
+                assert np.array_equal(res.occupancy, run.occupancy)
+
+    def test_matches_transient_mode_chunk_stats(
+        self, acc_small, acl_small_trace
+    ):
+        transient = ClassificationPipeline(
+            acc_small, chunk_size=256, shards=2
+        ).run(acl_small_trace)
+        with ClassificationPipeline(
+            acc_small, chunk_size=256, shards=2, persistent=True
+        ) as pipeline:
+            persistent = pipeline.run(acl_small_trace)
+        assert np.array_equal(persistent.match, transient.match)
+        assert [
+            (c.index, c.start, c.n_packets, c.matched, c.occupancy_sum)
+            for c in persistent.chunks
+        ] == [
+            (c.index, c.start, c.n_packets, c.matched, c.occupancy_sum)
+            for c in transient.chunks
+        ]
+
+    def test_software_backend_no_occupancy(self, acl_small, acl_small_trace):
+        clf = build_backend("linear", acl_small)
+        with ClassificationPipeline(
+            clf, chunk_size=512, shards=2, persistent=True
+        ) as pipeline:
+            res = pipeline.run(acl_small_trace)
+        assert res.occupancy is None
+        assert np.array_equal(res.match, clf.classify_trace(acl_small_trace))
+
+    def test_pool_reused_and_closed(self, acc_small, acl_small_trace):
+        pipeline = ClassificationPipeline(
+            acc_small, chunk_size=300, shards=2, persistent=True
+        )
+        try:
+            pipeline.run(acl_small_trace)
+            pool = pipeline._pool
+            if pool is not None:  # fork platforms only
+                pipeline.run(acl_small_trace)
+                assert pipeline._pool is pool
+        finally:
+            pipeline.close()
+        assert pipeline._pool is None
+        # Running again after close() forks a fresh pool on demand.
+        res = pipeline.run(acl_small_trace)
+        assert res.n_packets == acl_small_trace.n_packets
+        pipeline.close()
+
+    def test_varying_trace_sizes_across_runs(self, acc_small, acl_small_trace):
+        full = acl_small_trace
+        half = PacketTrace(full.headers[:901], FIVE_TUPLE)
+        with ClassificationPipeline(
+            acc_small, chunk_size=300, shards=2, persistent=True
+        ) as pipeline:
+            a = pipeline.run(full)
+            b = pipeline.run(half)
+            c = pipeline.run(full)
+        assert np.array_equal(a.match, c.match)
+        assert np.array_equal(b.match, a.match[:901])
+
+
 class TestEdges:
     def test_empty_trace(self, acc_small):
         trace = PacketTrace(np.empty((0, 5), dtype=np.uint32), FIVE_TUPLE)

@@ -1,0 +1,163 @@
+"""Conformance suite for the compiled flat-array traversal kernel.
+
+The load-bearing property: :meth:`FlatTree.batch_lookup` is bit-for-bit
+identical to the object-walking reference traversal
+(:meth:`DecisionTree.batch_lookup_reference`) on every
+:class:`BatchLookup` field, and both agree with the scalar ``lookup`` —
+on grid trees (congruence/mask-shift indexing) and on software trees
+including the compacted-region dead path, where packets fall outside a
+node's shrunk bounding box and must die with ``leaf_size == 0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DEMO_SCHEMA, PacketTrace, RuleSet
+from repro.algorithms import (
+    FlatTree,
+    IncrementalClassifier,
+    build_hicuts,
+    build_hypercuts,
+)
+from repro.core.rules import Rule, make_demo_ruleset
+
+FIELDS = (
+    "match", "internal_nodes", "leaf_id", "leaf_size", "match_pos",
+    "rules_compared",
+)
+
+
+def random_headers(schema, n, seed=0):
+    rng = np.random.default_rng(seed)
+    cols = [
+        rng.integers(0, schema.max_value(d) + 1, size=n, dtype=np.uint32)
+        for d in range(schema.ndim)
+    ]
+    return np.stack(cols, axis=1)
+
+
+def assert_batch_agreement(tree, trace):
+    """Reference and flat batch results identical on all fields+dtypes."""
+    ref = tree.batch_lookup_reference(trace)
+    got = FlatTree(tree).batch_lookup(trace)
+    for name in FIELDS:
+        a, b = getattr(ref, name), getattr(got, name)
+        assert a.dtype == b.dtype, name
+        assert np.array_equal(a, b), name
+    return ref
+
+
+def assert_scalar_agreement(tree, headers, batch):
+    """The scalar traversal agrees with the batch results packet-for-
+    packet on all five LookupResult statistics."""
+    for i, header in enumerate(headers):
+        res = tree.lookup(header)
+        assert res.rule_id == batch.match[i]
+        assert res.internal_nodes == batch.internal_nodes[i]
+        assert res.leaf_size == batch.leaf_size[i]
+        assert res.match_pos == batch.match_pos[i]
+        assert res.rules_compared == batch.rules_compared[i]
+
+
+def clustered_ruleset(rng, n_rules: int) -> RuleSet:
+    """Random rules clustered well inside the universe, so compaction
+    (and hull merging) shrinks node regions and uniform packets land
+    outside them."""
+    rules = []
+    for _ in range(n_rules):
+        ranges = []
+        for _d in range(DEMO_SCHEMA.ndim):
+            lo = int(rng.integers(60, 180))
+            hi = min(lo + int(rng.integers(0, 40)), 255)
+            ranges.append((lo, hi))
+        rules.append(Rule(ranges=tuple(ranges)))
+    return RuleSet(rules, DEMO_SCHEMA, "clustered")
+
+
+class TestGridTrees:
+    @pytest.mark.parametrize("build", [build_hicuts, build_hypercuts])
+    def test_acl_grid_tree_matches_reference_and_scalar(
+        self, build, acl_small, acl_small_trace
+    ):
+        tree = build(acl_small, binth=30, spfac=4, hw_mode=True)
+        batch = assert_batch_agreement(tree, acl_small_trace)
+        assert_scalar_agreement(
+            tree, acl_small_trace.headers[:200], batch
+        )
+
+    def test_mask_shift_fast_path_engaged(self, hw_tree_small):
+        assert FlatTree(hw_tree_small).pow2
+
+
+class TestSoftwareDeadPath:
+    """hw_mode=False trees: region compaction / hull merging shrink node
+    boxes; packets outside them must die exactly like the reference."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("build", [build_hicuts, build_hypercuts])
+    def test_random_clustered_trees(self, build, seed):
+        rng = np.random.default_rng(seed)
+        ruleset = clustered_ruleset(rng, 60)
+        tree = build(ruleset, binth=4, spfac=3, hw_mode=False)
+        assert not tree.grid_mode
+        headers = random_headers(DEMO_SCHEMA, 1500, seed=seed + 10)
+        trace = PacketTrace(headers, DEMO_SCHEMA)
+        batch = assert_batch_agreement(tree, trace)
+        # The scenario must actually exercise the dead path: packets
+        # that entered the tree but never reached a leaf.
+        died = (batch.leaf_id < 0) & (batch.internal_nodes > 0)
+        assert died.any()
+        assert (batch.leaf_size[died] == 0).all()
+        assert (batch.match[died] == -1).all()
+        assert_scalar_agreement(tree, headers[:300], batch)
+
+    def test_demo_hypercuts_with_pushed_rules(self):
+        ruleset = RuleSet(make_demo_ruleset(), DEMO_SCHEMA, "table1")
+        tree = build_hypercuts(ruleset, binth=2, spfac=4, hw_mode=False)
+        assert any(n.pushed.size for n in tree.nodes)  # push-common ran
+        headers = random_headers(DEMO_SCHEMA, 2000, seed=5)
+        trace = PacketTrace(headers, DEMO_SCHEMA)
+        batch = assert_batch_agreement(tree, trace)
+        assert_scalar_agreement(tree, headers[:300], batch)
+
+
+class TestKernelPlumbing:
+    def test_batch_lookup_delegates_to_cached_flat(self, hw_tree_small):
+        flat = hw_tree_small.flat
+        assert hw_tree_small.flat is flat  # cached
+        hw_tree_small.invalidate_cache()
+        assert hw_tree_small.flat is not flat  # recompiled on demand
+
+    def test_empty_trace(self, hw_tree_small):
+        trace = PacketTrace(
+            np.empty((0, 5), dtype=np.uint32), hw_tree_small.schema
+        )
+        out = hw_tree_small.batch_lookup(trace)
+        assert out.match.shape == (0,)
+
+    def test_nbytes_reported(self, hw_tree_small):
+        assert FlatTree(hw_tree_small).nbytes() > 0
+
+    def test_incremental_insert_invalidates_compiled_kernel(self):
+        ruleset = RuleSet(make_demo_ruleset(), DEMO_SCHEMA, "table1")
+        clf = IncrementalClassifier(
+            ruleset, algorithm="hicuts", binth=2, hw_mode=True
+        )
+        header = np.asarray([[7, 7, 7, 7, 7]], dtype=np.uint32)
+        assert clf.classify_batch(header)[0] == -1  # kernel compiled here
+        clf.insert(Rule(ranges=tuple((0, 20) for _ in range(5))))
+        new_id = len(make_demo_ruleset())
+        assert clf.classify_batch(header)[0] == new_id
+
+    def test_incremental_remove_invalidates_compiled_kernel(self):
+        ruleset = RuleSet(make_demo_ruleset(), DEMO_SCHEMA, "table1")
+        clf = IncrementalClassifier(
+            ruleset, algorithm="hicuts", binth=2, hw_mode=True
+        )
+        header = np.asarray([[135, 100, 30, 180, 134]], dtype=np.uint32)
+        first = int(clf.classify_batch(header)[0])
+        assert first >= 0
+        clf.remove(first)
+        assert int(clf.classify_batch(header)[0]) != first

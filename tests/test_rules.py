@@ -131,6 +131,31 @@ class TestRuleArrays:
         for row, got in zip(headers, batch):
             assert got == arrays.first_match(row)
 
+    def test_batch_match_chunk_and_block_boundaries(self, demo_ruleset):
+        # The chunked kernel must agree with the scalar oracle whatever
+        # the chunk/rule-block geometry — including blocks smaller than
+        # the ruleset (early-exit path) and chunks that do not divide
+        # the packet count.
+        arrays = RuleArrays(demo_ruleset.rules, DEMO_SCHEMA)
+        rng = np.random.default_rng(11)
+        headers = rng.integers(0, 256, size=(131, 5), dtype=np.uint32)
+        want = np.asarray([arrays.first_match(h) for h in headers])
+        for chunk_size, rule_block in [(1, 1), (7, 3), (131, 4), (64, 100)]:
+            got = arrays.batch_match(
+                headers, chunk_size=chunk_size, rule_block=rule_block
+            )
+            assert np.array_equal(got, want), (chunk_size, rule_block)
+
+    def test_batch_match_no_match_and_empty(self, demo_ruleset):
+        arrays = RuleArrays(demo_ruleset.rules, DEMO_SCHEMA)
+        # All-zero headers match none of Table 1's rules: the kernel must
+        # scan every rule block and report -1.
+        zeros = np.zeros((5, 5), dtype=np.uint32)
+        assert (arrays.batch_match(zeros) == -1).all()
+        assert arrays.batch_match(
+            np.empty((0, 5), dtype=np.uint32)
+        ).shape == (0,)
+
     def test_distinct_range_counts_table1(self, demo_ruleset):
         arrays = demo_ruleset.arrays
         ids = np.arange(10)

@@ -90,6 +90,19 @@ class TestClassBenchIO:
         assert rule.ranges[3] == (1024, 65535)
         assert rule.ranges[4] == (6, 6)
 
+    @pytest.mark.parametrize("src_tok", ["@192.168.1.0/24", "192.168.1.0/24"])
+    def test_source_ip_with_and_without_at_prefix(self, tmp_path, src_tok):
+        # ClassBench writes "@sip"; hand-edited filter sets often drop the
+        # marker.  Both must parse to the same rule.
+        path = tmp_path / "f.txt"
+        path.write_text(
+            f"{src_tok}\t10.0.0.0/8\t0 : 65535\t1024 : 65535\t0x06/0xFF\n"
+        )
+        rs = RuleSet.load(str(path))
+        assert len(rs) == 1
+        assert rs[0].ranges[0] == (0xC0A80100, 0xC0A801FF)
+        assert rs[0].ranges[1] == (0x0A000000, 0x0AFFFFFF)
+
     def test_parse_errors(self, tmp_path):
         for bad in (
             "not a rule",
