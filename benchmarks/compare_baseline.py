@@ -1,0 +1,108 @@
+"""Compare a fresh ``BENCH_engine.json`` against the committed baseline.
+
+Emits a GitHub-flavoured markdown table of current-vs-baseline ratios
+for every numeric metric the two files share, so the bench CI job can
+append it to ``$GITHUB_STEP_SUMMARY``.  Warn-only by design: the script
+always exits 0 — regressions are surfaced, not enforced — because the
+bench job runs on shared, noisy runners.
+
+Usage::
+
+    python benchmarks/compare_baseline.py BENCH_engine.json \
+        benchmarks/baseline.json [--threshold 0.8]
+
+Metrics whose key marks them as costs (``*_s``, ``*_ms_per_run``,
+``*_j``, ``*_accesses_per_lookup``) improve downward; everything else
+(pps, speedups, rates) improves upward.  Ratios are always oriented so > 1.0 means "better than
+baseline", and rows below ``--threshold`` are flagged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _flatten(prefix: str, obj, out: dict) -> None:
+    if isinstance(obj, dict):
+        for key, value in sorted(obj.items()):
+            _flatten(f"{prefix}.{key}" if prefix else key, value, out)
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        out[prefix] = float(obj)
+
+
+def _lower_is_better(key: str) -> bool:
+    leaf = key.rsplit(".", 1)[-1]
+    return (
+        leaf.endswith("_s")
+        or leaf.endswith("_ms_per_run")
+        or leaf.endswith("_j")
+        or leaf.endswith("_accesses_per_lookup")
+    )
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> str:
+    cur, base = {}, {}
+    _flatten("", current, cur)
+    _flatten("", baseline, base)
+    shared = sorted(set(cur) & set(base))
+    lines = [
+        "## Bench vs committed baseline",
+        "",
+        "| metric | baseline | current | ratio (>1 = better) | |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    flagged = 0
+    for key in shared:
+        b, c = base[key], cur[key]
+        if b == 0 or c == 0:
+            ratio = float("nan")
+        elif _lower_is_better(key):
+            ratio = b / c
+        else:
+            ratio = c / b
+        mark = ""
+        if ratio == ratio and ratio < threshold:  # NaN-safe
+            mark = ":warning:"
+            flagged += 1
+        lines.append(
+            f"| `{key}` | {b:g} | {c:g} | {ratio:.2f} | {mark} |"
+        )
+    only_cur = sorted(set(cur) - set(base))
+    if only_cur:
+        lines += ["", f"New metrics (no baseline yet): "
+                      f"{', '.join(f'`{k}`' for k in only_cur)}"]
+    only_base = sorted(set(base) - set(cur))
+    if only_base:
+        lines += ["", f"Baseline metrics missing from this run: "
+                      f"{', '.join(f'`{k}`' for k in only_base)}"]
+    lines += [
+        "",
+        f"{len(shared)} shared metrics, {flagged} below the "
+        f"{threshold:.0%} warn threshold (informational only).",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh BENCH_engine.json")
+    parser.add_argument("baseline", help="committed benchmarks/baseline.json")
+    parser.add_argument("--threshold", type=float, default=0.8,
+                        help="ratio below which a row is flagged")
+    args = parser.parse_args(argv)
+    try:
+        with open(args.current, encoding="utf-8") as fh:
+            current = json.load(fh)
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"baseline comparison skipped: {exc}", file=sys.stderr)
+        return 0  # warn-only: never fail the job
+    print(compare(current, baseline, args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,8 +23,13 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.algorithms import FlatTree, TupleSpaceClassifier, build_hicuts
-from repro.engine import ClassificationPipeline, build_backend
+from repro.algorithms import TupleSpaceClassifier, build_hicuts
+from repro.energy import CacheEnergyModel
+from repro.engine import (
+    CachedClassifier,
+    ClassificationPipeline,
+    build_backend,
+)
 
 pytestmark = pytest.mark.bench
 
@@ -221,6 +226,74 @@ def test_persistent_pipeline_throughput(
         round(acl1k_trace.n_packets / benchmark.stats.stats.min)
     )
     assert res.n_packets == acl1k_trace.n_packets
+
+
+# ---------------------------------------------------------------------------
+# Flow-cache front-end on a Zipf-skewed trace
+# ---------------------------------------------------------------------------
+def test_flowcache_zipf_gate(acl1k_tss, acl1k_zipf_trace):
+    """Acceptance gate: on a Zipf(1.0) trace the flow cache serves the
+    hot flows, cutting effective memory accesses per lookup >= 2x below
+    the bare backend (tuple space: 267 worst-case accesses at 1k rules),
+    bit-identically.  Hit rate and the hit/miss energy split land in
+    ``BENCH_engine.json``."""
+    bare = acl1k_tss
+    trace = acl1k_zipf_trace
+    want = bare.classify_trace(trace)
+    cached = CachedClassifier(bare, entries=4096, ways=4)
+    got = cached.classify_trace(trace)
+    assert np.array_equal(got, want)
+
+    hit_rate = cached.cache.stats.hit_rate
+    model = CacheEnergyModel.for_classifier(cached)
+    effective = model.effective_accesses_per_lookup(hit_rate)
+    speedup = model.effective_lookup_speedup(hit_rate)
+    # Deduplicated misses mean the backend only ever sees each flow
+    # once: lookups served per backend lookup.
+    lookup_reduction = trace.n_packets / cached.cache.stats.misses
+
+    # Wall clock: warm cached pass vs the bare backend on the same trace.
+    t_bare = _best_of(lambda: bare.classify_trace(trace))
+    t_cached = _best_of(lambda: cached.classify_trace(trace))
+
+    _PERF["flowcache"] = {
+        "backend": "tuple_space",
+        "entries": cached.cache.entries,
+        "ways": cached.cache.ways,
+        "flows": 512,
+        "zipf_skew": 1.0,
+        "packets": trace.n_packets,
+        "hit_rate": round(hit_rate, 4),
+        "backend_lookup_reduction": round(lookup_reduction, 2),
+        "backend_accesses_per_lookup": model.backend_accesses,
+        "effective_accesses_per_lookup": round(effective, 3),
+        "effective_lookup_speedup": round(speedup, 2),
+        "energy_per_packet_j": model.energy_per_packet_j(hit_rate),
+        "energy_per_packet_uncached_j": model.uncached_energy_per_packet_j(),
+        "bare_s": round(t_bare, 4),
+        "cached_s": round(t_cached, 4),
+        "wall_speedup": round(t_bare / t_cached, 2),
+    }
+    assert hit_rate > 0.5, f"Zipf(1.0) hit rate only {hit_rate:.1%}"
+    assert speedup >= 2, (
+        f"flow cache only cut effective lookups {speedup:.2f}x"
+    )
+
+
+@pytest.mark.parametrize("shards", [1, 2])
+def test_cached_pipeline_throughput(
+    benchmark, acl1k_engine_accelerator, acl1k_zipf_trace, shards
+):
+    """Sharded streaming with a per-shard flow cache (20k Zipf packets)."""
+    cached = CachedClassifier(
+        acl1k_engine_accelerator, entries=4096, ways=4
+    )
+    pipeline = ClassificationPipeline(cached, chunk_size=2048, shards=shards)
+    res = benchmark(lambda: pipeline.run(acl1k_zipf_trace))
+    _PERF.setdefault("flowcache_pipeline_pps", {})[f"shards_{shards}"] = round(
+        acl1k_zipf_trace.n_packets / benchmark.stats.stats.min
+    )
+    assert res.cache_hit_rate is not None and res.cache_hit_rate > 0.5
 
 
 # ---------------------------------------------------------------------------

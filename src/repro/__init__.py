@@ -32,7 +32,7 @@ from .core import (
     RuleSet,
     make_demo_ruleset,
 )
-from .classbench import generate_ruleset, generate_trace
+from .classbench import generate_ruleset, generate_trace, generate_zipf_trace
 from .algorithms import (
     DecisionTree,
     LinearSearchClassifier,
@@ -43,6 +43,7 @@ from .algorithms import (
     build_hypercuts,
 )
 from .engine import (
+    CachedClassifier,
     ClassificationPipeline,
     available_backends,
     build_backend,
@@ -62,6 +63,7 @@ __all__ = [
     "make_demo_ruleset",
     "generate_ruleset",
     "generate_trace",
+    "generate_zipf_trace",
     "DecisionTree",
     "LinearSearchClassifier",
     "OpCounter",
@@ -69,6 +71,7 @@ __all__ = [
     "TupleSpaceClassifier",
     "build_hicuts",
     "build_hypercuts",
+    "CachedClassifier",
     "ClassificationPipeline",
     "available_backends",
     "build_backend",

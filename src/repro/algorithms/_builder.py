@@ -24,8 +24,7 @@ children (n <= binth) merge unconditionally since leaves never cut again.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -38,7 +37,6 @@ from ._partition import (
     all_rules_identical_in_region,
     assign_children,
     clipped_bounds,
-    coord_spans,
     eliminate_redundant,
 )
 

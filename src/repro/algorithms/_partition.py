@@ -90,7 +90,6 @@ def max_count_grid(
     k = len(counts)
     shape = tuple(c + 1 for c in counts)
     diff = np.zeros(shape, dtype=np.int64)
-    n = len(firsts[0])
     for corner in range(1 << k):
         idx = []
         sign = 1

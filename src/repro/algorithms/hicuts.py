@@ -138,7 +138,6 @@ class HiCutsBuilder(TreeBuilder):
             if best is None or key < best:
                 best = key
                 best_spans = (first, last)
-                best_choice = (max_child, np_cur, dim)
         if best is None or best_spans is None:
             return None  # no dimension discriminates -> leaf
         _, np_cur, dim = best

@@ -303,12 +303,12 @@ class HyperCutsBuilder(TreeBuilder):
         lasts: list[np.ndarray] = []
         for i, e in enumerate(exps):
             if e:
-                f, l = spans(i, e)
+                first, last = spans(i, e)
             else:
-                f = np.zeros(n, dtype=np.int64)
-                l = np.zeros(n, dtype=np.int64)
-            firsts.append(f)
-            lasts.append(l)
+                first = np.zeros(n, dtype=np.int64)
+                last = np.zeros(n, dtype=np.int64)
+            firsts.append(first)
+            lasts.append(last)
         return tuple(exps), firsts, lasts
 
 

@@ -26,13 +26,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-#: 64-bit mixing constant (golden-ratio hash) for the batch probe path.
-_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
-
 from ..core.errors import CapacityError
 from ..core.packet import PacketTrace
 from ..core.ruleset import RuleSet
 from .opcount import NULL_COUNTER, OpCounter
+
+#: 64-bit mixing constant (golden-ratio hash) for the batch probe path.
+_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
 
 KIND_EXACT = 0
 KIND_RANGE = 1

@@ -8,7 +8,7 @@ similar workloads from embedded seed models.  See DESIGN.md §1
 
 from .generator import generate_ruleset, paper_acl1_sizes, paper_table4_sizes
 from .seeds import ACL1, FAMILIES, FW1, IPC1, SeedModel, get_seed
-from .trace import generate_trace, trace_locality
+from .trace import generate_trace, generate_zipf_trace, trace_locality
 
 __all__ = [
     "generate_ruleset",
@@ -21,5 +21,6 @@ __all__ = [
     "SeedModel",
     "get_seed",
     "generate_trace",
+    "generate_zipf_trace",
     "trace_locality",
 ]

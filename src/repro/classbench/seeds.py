@@ -29,7 +29,7 @@ exact match) and a protocol distribution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 # Port class identifiers (ClassBench taxonomy).
 PORT_WC = "WC"  # wildcard        [0, 65535]

@@ -30,6 +30,31 @@ from ..core.packet import PacketTrace
 from ..core.ruleset import RuleSet
 
 
+def _headers_for_rules(
+    ruleset: RuleSet,
+    rng: np.random.Generator,
+    rule_ids: np.ndarray,
+    corner_bias: float,
+) -> np.ndarray:
+    """One header per entry of ``rule_ids``, uniform inside the rule's
+    hypercube with ``corner_bias`` stickiness to the low corner (the
+    ClassBench header model shared by all trace generators)."""
+    arrays = ruleset.arrays
+    nd = ruleset.schema.ndim
+    n = len(rule_ids)
+    hdr = np.empty((n, nd), dtype=np.uint32)
+    stick = rng.random((n, nd)) < corner_bias
+    for d in range(nd):
+        lo = arrays.lo[d, rule_ids].astype(np.uint64)
+        hi = arrays.hi[d, rule_ids].astype(np.uint64)
+        span = hi - lo + 1
+        offs = (rng.random(n) * span.astype(np.float64)).astype(np.uint64)
+        offs = np.minimum(offs, span - 1)
+        vals = lo + np.where(stick[:, d], np.uint64(0), offs)
+        hdr[:, d] = vals.astype(np.uint32)
+    return hdr
+
+
 def generate_trace(
     ruleset: RuleSet,
     n_packets: int,
@@ -63,7 +88,6 @@ def generate_trace(
         raise ConfigError("cannot generate a trace for an empty ruleset")
 
     rng = np.random.default_rng(seed)
-    arrays = ruleset.arrays
     nd = ruleset.schema.ndim
 
     # Draw bursts until we have enough headers.  Expected burst length for
@@ -73,23 +97,14 @@ def generate_trace(
     total = 0
     while total < n_packets:
         n_bursts = max(64, int((n_packets - total) * 0.8) + 16)
-        rule_ids = rng.integers(0, arrays.n, size=n_bursts)
+        rule_ids = rng.integers(0, ruleset.arrays.n, size=n_bursts)
         burst = np.ceil(
             pareto_scale * (1.0 + rng.pareto(pareto_shape, size=n_bursts))
         ).astype(np.int64)
         burst = np.clip(burst, 1, 64)
 
         # Sample one header per burst inside the chosen rule's hypercube.
-        hdr = np.empty((n_bursts, nd), dtype=np.uint32)
-        stick = rng.random((n_bursts, nd)) < corner_bias
-        for d in range(nd):
-            lo = arrays.lo[d, rule_ids].astype(np.uint64)
-            hi = arrays.hi[d, rule_ids].astype(np.uint64)
-            span = hi - lo + 1
-            offs = (rng.random(n_bursts) * span.astype(np.float64)).astype(np.uint64)
-            offs = np.minimum(offs, span - 1)
-            vals = lo + np.where(stick[:, d], np.uint64(0), offs)
-            hdr[:, d] = vals.astype(np.uint32)
+        hdr = _headers_for_rules(ruleset, rng, rule_ids, corner_bias)
 
         headers_parts.append(np.repeat(hdr, burst, axis=0))
         total += int(burst.sum())
@@ -108,6 +123,48 @@ def generate_trace(
             headers[pos] = bg
 
     return PacketTrace(headers, ruleset.schema)
+
+
+def generate_zipf_trace(
+    ruleset: RuleSet,
+    n_packets: int,
+    n_flows: int = 1024,
+    skew: float = 1.0,
+    seed: int = 0,
+    corner_bias: float = 0.5,
+) -> PacketTrace:
+    """Generate a Zipf-skewed flow-popularity trace for ``ruleset``.
+
+    The flow-cache measurement workload: a pool of ``n_flows`` flows is
+    sampled from the ruleset (one header per flow, the ClassBench header
+    model), then each packet independently picks flow rank ``r`` with
+    probability proportional to ``r ** -skew``.  ``skew=0`` degenerates
+    to uniform flow popularity; ``skew=1.0`` is the classic Internet-mix
+    Zipf the caching literature measures against.  Fully seeded, so the
+    same arguments always reproduce the same trace.
+
+    Unlike :func:`generate_trace`'s Pareto bursts (temporal locality,
+    repeats are adjacent), a Zipf trace's locality is in the *popularity
+    distribution*: hot flows recur throughout the trace, which is what a
+    flow cache — not a one-entry last-packet register — exploits.
+    """
+    if n_packets < 1:
+        raise ConfigError("n_packets must be >= 1")
+    if n_flows < 1:
+        raise ConfigError("n_flows must be >= 1")
+    if skew < 0.0:
+        raise ConfigError("skew must be >= 0")
+    if len(ruleset) == 0:
+        raise ConfigError("cannot generate a trace for an empty ruleset")
+
+    rng = np.random.default_rng(seed)
+    rule_ids = rng.integers(0, ruleset.arrays.n, size=n_flows)
+    flow_headers = _headers_for_rules(ruleset, rng, rule_ids, corner_bias)
+    ranks = np.arange(1, n_flows + 1, dtype=np.float64)
+    popularity = ranks**-skew
+    popularity /= popularity.sum()
+    flows = rng.choice(n_flows, size=n_packets, p=popularity)
+    return PacketTrace(flow_headers[flows], ruleset.schema)
 
 
 def trace_locality(trace: PacketTrace) -> float:

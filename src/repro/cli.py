@@ -24,12 +24,13 @@ import argparse
 import sys
 
 from .algorithms import build_hicuts, build_hypercuts
-from .classbench import generate_ruleset, generate_trace
+from .classbench import generate_ruleset, generate_trace, generate_zipf_trace
 from .core.errors import ReproError
 from .core.packet import PacketTrace
 from .core.ruleset import RuleSet
-from .energy import asic_model, fpga_model
+from .energy import CacheEnergyModel, asic_model, fpga_model
 from .engine import (
+    CachedClassifier,
     ClassificationPipeline,
     available_backends,
     backend_spec,
@@ -52,6 +53,12 @@ def _load_or_generate(args) -> RuleSet:
 def _load_or_generate_trace(args, ruleset: RuleSet) -> PacketTrace:
     if getattr(args, "trace_file", None):
         return PacketTrace.load(args.trace_file)
+    zipf = getattr(args, "zipf", None)
+    if zipf is not None:
+        return generate_zipf_trace(
+            ruleset, args.packets, n_flows=args.flows, skew=zipf,
+            seed=args.seed + 1,
+        )
     return generate_trace(ruleset, args.packets, seed=args.seed + 1)
 
 
@@ -73,15 +80,42 @@ def _engine_classifier(ruleset: RuleSet, args):
     spec = backend_spec(name)
     software = getattr(args, "software", False)
     if spec.builds_tree and not software:
-        return build_backend(
+        clf = build_backend(
             "accelerator", ruleset, algorithm=spec.name,
             binth=args.binth, spfac=args.spfac, speed=args.speed,
         )
-    return build_backend(
-        spec.name, ruleset,
-        binth=args.binth, spfac=args.spfac, speed=args.speed,
-        hw_mode=not software,
-    )
+    else:
+        clf = build_backend(
+            spec.name, ruleset,
+            binth=args.binth, spfac=args.spfac, speed=args.speed,
+            hw_mode=not software,
+        )
+    entries = getattr(args, "cache_entries", 0)
+    if entries:
+        clf = CachedClassifier(clf, entries=entries, ways=args.cache_ways)
+    return clf
+
+
+def _print_cache_report(clf, hits: int, misses: int, evictions: int) -> None:
+    """Hit rate, effective accesses and the hit/miss energy split.
+
+    Counts are passed in rather than read off ``clf.cache.stats``: in a
+    sharded pipeline the caches live in forked workers, and only the
+    per-chunk counters travel back to this process.
+    """
+    lookups = hits + misses
+    hit_rate = hits / lookups if lookups else 0.0
+    cache = clf.cache
+    model = CacheEnergyModel.for_classifier(clf)
+    print(f"flow cache: {cache.entries} entries x {cache.ways}-way, "
+          f"hit rate {100 * hit_rate:.1f}% ({hits}/{lookups}), "
+          f"{misses} backend lookups, {evictions} evictions")
+    print(f"effective accesses/lookup: "
+          f"{model.effective_accesses_per_lookup(hit_rate):.2f} "
+          f"vs {model.backend_accesses:.0f} uncached "
+          f"({model.effective_lookup_speedup(hit_rate):.1f}x fewer)")
+    print(f"cache energy model: {model.energy_per_packet_j(hit_rate):.3E} "
+          f"J/packet vs {model.uncached_energy_per_packet_j():.3E} uncached")
 
 
 def cmd_generate(args) -> int:
@@ -147,6 +181,9 @@ def cmd_classify(args) -> int:
     print(f"backend: {backend_spec(args.algorithm).name}")
     print(f"memory model: {clf.memory_bytes():,} bytes")
     print(f"worst-case accesses/lookup: {clf.memory_accesses_per_lookup()}")
+    if isinstance(clf, CachedClassifier):
+        stats = clf.cache.stats
+        _print_cache_report(clf, stats.hits, stats.misses, stats.evictions)
     return 0
 
 
@@ -185,6 +222,10 @@ def cmd_bench(args) -> int:
           f"({100 * res.matched_fraction:.1f}%)")
     print(f"pipeline throughput: {res.throughput_pps():,.0f} packets/s "
           f"(wall clock {res.elapsed_s * 1e3:.1f} ms)")
+    if res.cache_hits is not None and isinstance(clf, CachedClassifier):
+        _print_cache_report(
+            clf, res.cache_hits, res.cache_misses, res.cache_evictions
+        )
     mo = res.mean_occupancy()
     if mo is not None:
         asic, fpga = asic_model(), fpga_model()
@@ -238,6 +279,19 @@ def _add_workload_args(
     p.add_argument("--packets", type=int, default=packets)
 
 
+def _add_cache_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--cache-entries", type=int, default=0,
+                   help="flow-cache entries in front of the backend "
+                        "(0 = no cache)")
+    p.add_argument("--cache-ways", type=int, default=4,
+                   help="flow-cache set associativity")
+    p.add_argument("--zipf", type=float, default=None, metavar="SKEW",
+                   help="generate a Zipf(SKEW) flow-popularity trace "
+                        "instead of the Pareto-burst one")
+    p.add_argument("--flows", type=int, default=1024,
+                   help="distinct flows in the Zipf trace (with --zipf)")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro-classify", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -258,6 +312,7 @@ def main(argv: list[str] | None = None) -> int:
     c = sub.add_parser("classify", help="classify a trace")
     _add_workload_args(c, packets=100000)
     c.add_argument("--trace-file", default=None)
+    _add_cache_args(c)
     c.set_defaults(fn=cmd_classify)
 
     n = sub.add_parser("bench", help="stream a trace through the sharded "
@@ -274,6 +329,7 @@ def main(argv: list[str] | None = None) -> int:
     n.add_argument("--repeats", type=int, default=1,
                    help="run the trace N times (shows the persistent "
                         "pool's fork-amortisation win)")
+    _add_cache_args(n)
     n.set_defaults(fn=cmd_bench)
 
     t = sub.add_parser("tables", help="regenerate the paper's tables")

@@ -22,14 +22,13 @@ Python objects on the hot path).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from .errors import RuleFormatError
 from .geometry import (
-    HW_GRID_BITS,
     grid_span,
     prefix_to_range,
     range_is_prefix,

@@ -17,7 +17,7 @@ but not classified on (the paper's hardware classifies the 5-tuple only).
 from __future__ import annotations
 
 import re
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..hw.accelerator import AcceleratorRun
 from .calibration import ACTIVE_POWER_FRACTION

@@ -1,0 +1,92 @@
+"""Hit/miss energy split for the flow-cache front-end.
+
+The flow cache changes the per-lookup cost structure the paper's energy
+argument is built on: a cache hit costs one set-wide SRAM probe, a miss
+costs the probe *plus* the wrapped backend's lookup (its worst-case
+memory accesses) plus the fill write.  :class:`CacheEnergyModel` folds a
+measured hit rate into effective memory accesses per packet and energy
+per packet, so hit-rate-vs-energy sweeps (the paper's Table-style
+comparisons, on skewed traces) fall out of one dataclass.
+
+The per-access energy constant is derived from the CY7C1381D — the
+companion SRAM part the paper's Section 5.3 TCAM comparison cites —
+as ``P / f`` (one access per cycle at the datasheet operating point).
+It is a modelled constant, not a measurement; the *ratios* (effective
+accesses, effective-lookup speedup) are device-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .tcam import CY7C1381D
+
+#: Modelled energy of one SRAM access: the CY7C1381D's datasheet power
+#: over its frequency (~5.2 nJ/access at 133 MHz / 693 mW).
+SRAM_ACCESS_ENERGY_J = CY7C1381D.power_w / CY7C1381D.freq_hz
+
+
+def _check_hit_rate(hit_rate: float) -> float:
+    if not 0.0 <= hit_rate <= 1.0:
+        raise ValueError(f"hit_rate must be in [0, 1], got {hit_rate}")
+    return hit_rate
+
+
+@dataclass(frozen=True)
+class CacheEnergyModel:
+    """Per-lookup cost split between the cache-hit and backend-miss paths.
+
+    ``backend_accesses`` is the wrapped backend's memory accesses per
+    (missed) lookup — its ``memory_accesses_per_lookup()`` worst case by
+    default, via :meth:`for_classifier`.  ``probe_accesses`` charges the
+    set-wide cache read every lookup pays; ``fill_accesses`` the write a
+    miss pays to install its result.
+    """
+
+    backend_accesses: float
+    probe_accesses: float = 1.0
+    fill_accesses: float = 1.0
+    energy_per_access_j: float = SRAM_ACCESS_ENERGY_J
+
+    @classmethod
+    def for_classifier(cls, classifier, **overrides) -> "CacheEnergyModel":
+        """Build the model for a (possibly cache-wrapped) classifier."""
+        inner = getattr(classifier, "classifier", classifier)
+        return cls(
+            backend_accesses=float(inner.memory_accesses_per_lookup()),
+            **overrides,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_accesses(self) -> float:
+        """Memory accesses on the cache-hit path (probe only)."""
+        return self.probe_accesses
+
+    @property
+    def miss_accesses(self) -> float:
+        """Memory accesses on the miss path (probe + backend + fill)."""
+        return self.probe_accesses + self.backend_accesses + self.fill_accesses
+
+    def effective_accesses_per_lookup(self, hit_rate: float) -> float:
+        """Hit-rate-weighted memory accesses per packet."""
+        h = _check_hit_rate(hit_rate)
+        return h * self.hit_accesses + (1.0 - h) * self.miss_accesses
+
+    def effective_lookup_speedup(self, hit_rate: float) -> float:
+        """How many times fewer accesses a lookup costs than the bare
+        backend's worst case at this hit rate (>1 once the cache wins)."""
+        return self.backend_accesses / self.effective_accesses_per_lookup(
+            hit_rate
+        )
+
+    def energy_per_packet_j(self, hit_rate: float) -> float:
+        """Modelled Joules per packet at ``hit_rate``."""
+        return (
+            self.effective_accesses_per_lookup(hit_rate)
+            * self.energy_per_access_j
+        )
+
+    def uncached_energy_per_packet_j(self) -> float:
+        """The bare backend's modelled Joules per packet (no cache)."""
+        return self.backend_accesses * self.energy_per_access_j

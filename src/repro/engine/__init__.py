@@ -13,6 +13,13 @@ See ``docs/engine.md`` for the architecture overview.
 """
 
 from .backends import AcceleratorClassifier, DecisionTreeClassifier
+from .flowcache import (
+    HIT_OCCUPANCY_CYCLES,
+    CachedClassifier,
+    FlowCache,
+    FlowCacheStats,
+    build_cached_backend,
+)
 from .pipeline import (
     DEFAULT_CHUNK_SIZE,
     ChunkStats,
@@ -38,6 +45,11 @@ from .registry import (
 __all__ = [
     "AcceleratorClassifier",
     "DecisionTreeClassifier",
+    "HIT_OCCUPANCY_CYCLES",
+    "CachedClassifier",
+    "FlowCache",
+    "FlowCacheStats",
+    "build_cached_backend",
     "DEFAULT_CHUNK_SIZE",
     "ChunkStats",
     "ClassificationPipeline",

@@ -1,0 +1,340 @@
+"""Exact-match flow-cache front-end for any engine backend.
+
+The paper's introduction assumes the classic serving deployment: a flow
+cache absorbs the hot traffic and the general classifier only sees cache
+misses — that split is where the energy argument lives.  This module
+reproduces the layer in the simulator:
+
+* :class:`FlowCache` — a vectorised, fixed-size, set-associative
+  exact-match table.  Full headers are FNV-hashed into one of
+  ``entries // ways`` sets; each set holds ``ways`` (header, result)
+  entries with LRU-ish replacement driven by a monotonic use stamp.
+  All probe/fill work is NumPy over the whole batch — no per-packet
+  Python.
+* :class:`CachedClassifier` — wraps any
+  :class:`~repro.engine.protocol.Classifier` behind the same protocol,
+  so the cached form composes with the registry, the sharded
+  :class:`~repro.engine.pipeline.ClassificationPipeline` and the CLI
+  exactly like a bare backend.  Results are bit-identical to the
+  wrapped backend by construction: the cache only ever stores results
+  the backend itself produced, keyed by the *full* header.
+
+Batch semantics: within one batch the cache is probed once against its
+state at batch start; the missing headers are deduplicated, classified
+by the backend once per distinct header, and filled back.  Duplicate
+misses inside a batch therefore coalesce into one backend lookup — the
+vectorised equivalent of the sequential "first packet misses and fills,
+the rest hit" behaviour — and are counted as hits.  A zero-entry cache
+bypasses entirely (every packet is a backend miss, no coalescing).
+
+Sharding: each pipeline worker forks with a copy-on-write snapshot of
+the cache, so a sharded run maintains one private cache per shard (the
+hardware-natural layout); a persistent pool keeps the per-shard caches
+warm across ``run()`` calls.  Per-chunk hit/miss counts travel back
+through :class:`~repro.engine.protocol.BatchStats` and are aggregated
+by the pipeline.
+
+Rule updates invalidate: :meth:`CachedClassifier.insert` / ``remove`` /
+``rebuild`` delegate to the wrapped classifier (the incremental
+backend) and then flush the cache, so the serving process never returns
+stale results after the ruleset changes.  The persistent-pool caveat on
+:class:`~repro.engine.pipeline.ClassificationPipeline` applies to the
+cache exactly as it does to the classifier itself: a long-lived pool's
+workers hold the copy-on-write snapshot taken at fork time, so call
+``pipeline.close()`` after any mutation — the next ``run()`` re-forks
+from the updated (and freshly invalidated) state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import ConfigError
+from ..core.ruleset import RuleSet
+from .protocol import BatchStats, Classifier, ClassifierBase, batch_stats_of
+from .registry import build_backend
+
+#: Memory-port cycles charged to a cache-hit lookup when the wrapped
+#: backend models per-packet occupancy: one set-wide probe, the same
+#: single-cycle cost the accelerator pays for one memory word.
+HIT_OCCUPANCY_CYCLES = 1
+
+_FNV_OFFSET = np.uint64(0xCBF29CE484222325)
+_FNV_PRIME = np.uint64(0x100000001B3)
+
+
+@dataclass
+class FlowCacheStats:
+    """Running counters of one :class:`FlowCache`.
+
+    ``hits`` counts packets served without a backend lookup (including
+    intra-batch duplicates coalesced onto one miss); ``misses`` counts
+    backend lookups issued.  ``hits + misses == lookups``.
+    """
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class FlowCache:
+    """Fixed-size set-associative exact-match cache over full headers.
+
+    ``entries == 0`` disables the cache (every lookup is a miss).
+    Tables are allocated lazily on the first probe, when the header
+    width is known, so the cache works with any
+    :class:`~repro.core.rules.FieldSchema`.
+    """
+
+    def __init__(self, entries: int = 4096, ways: int = 4) -> None:
+        if entries < 0:
+            raise ConfigError(f"cache entries must be >= 0, got {entries}")
+        if entries:
+            if ways < 1:
+                raise ConfigError(f"cache ways must be >= 1, got {ways}")
+            if entries % ways:
+                raise ConfigError(
+                    f"cache entries ({entries}) must be a multiple of "
+                    f"ways ({ways})"
+                )
+        self.entries = int(entries)
+        self.ways = int(ways)
+        self.n_sets = self.entries // self.ways if entries else 0
+        self.stats = FlowCacheStats()
+        self._tick = np.int64(1)
+        self._keys: np.ndarray | None = None  # (sets, ways, ndim) uint32
+        self._valid: np.ndarray | None = None  # (sets, ways) bool
+        self._result: np.ndarray | None = None  # (sets, ways) int64
+        self._stamp: np.ndarray | None = None  # (sets, ways) int64 last use
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self.entries > 0
+
+    def _ensure_tables(self, ndim: int) -> None:
+        if self._keys is None or self._keys.shape[2] != ndim:
+            self._keys = np.zeros((self.n_sets, self.ways, ndim), np.uint32)
+            self._valid = np.zeros((self.n_sets, self.ways), bool)
+            self._result = np.full((self.n_sets, self.ways), -1, np.int64)
+            self._stamp = np.zeros((self.n_sets, self.ways), np.int64)
+
+    def _set_index(self, headers: np.ndarray) -> np.ndarray:
+        """FNV-1a over the header columns, folded modulo the set count."""
+        h = np.full(headers.shape[0], _FNV_OFFSET, np.uint64)
+        for d in range(headers.shape[1]):
+            h = (h ^ headers[:, d].astype(np.uint64)) * _FNV_PRIME
+        h ^= h >> np.uint64(33)  # fold the high bits into the modulo
+        return (h % np.uint64(self.n_sets)).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def probe(self, headers: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Look every header up against the current cache state.
+
+        Returns ``(hit, result)``: a boolean hit mask and the cached
+        first-match rule id where hit (undefined elsewhere).  Hit
+        entries get their LRU stamp refreshed, later batch positions
+        counting as fresher.  On a disabled (zero-entry) cache every
+        probe misses.
+        """
+        if not self.enabled or not headers.shape[0]:
+            n = headers.shape[0]
+            return np.zeros(n, bool), np.full(n, -1, np.int64)
+        self._ensure_tables(headers.shape[1])
+        s = self._set_index(headers)
+        cand = self._keys[s]  # (n, ways, ndim) gather
+        eq = (cand == headers[:, None, :]).all(axis=2) & self._valid[s]
+        hit = eq.any(axis=1)
+        way = np.argmax(eq, axis=1)
+        result = np.where(hit, self._result[s, way], np.int64(-1))
+        pos = np.nonzero(hit)[0]
+        self._stamp[s[pos], way[pos]] = self._tick + pos
+        self._tick += np.int64(headers.shape[0])
+        return hit, result
+
+    def fill(self, headers: np.ndarray, results: np.ndarray) -> None:
+        """Insert (header -> result) pairs, LRU-evicting within sets.
+
+        ``headers`` rows should be distinct (the caller deduplicates
+        misses).  When more distinct headers land in one set than it
+        has ways, the later ones wrap onto the same victim slots —
+        last writer wins, exactly what a small cache under thrash does.
+        """
+        n = headers.shape[0]
+        if not self.enabled or not n:
+            return
+        self._ensure_tables(headers.shape[1])
+        s = self._set_index(headers)
+        touched, inv = np.unique(s, return_inverse=True)
+        inv = inv.reshape(-1)
+        # Ways of each touched set ordered oldest-first, invalid first.
+        age = np.where(self._valid[touched], self._stamp[touched], np.int64(-1))
+        order = np.argsort(age, axis=1, kind="stable")
+        # Occurrence rank of each insert within its set.
+        by_set = np.argsort(inv, kind="stable")
+        counts = np.bincount(inv)
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        rank = np.empty(n, np.int64)
+        rank[by_set] = np.arange(n) - np.repeat(starts, counts)
+        way = order[inv, rank % self.ways]
+        self.stats.evictions += int(self._valid[s, way].sum())
+        self._keys[s, way] = headers
+        self._valid[s, way] = True
+        self._result[s, way] = results
+        self._stamp[s, way] = self._tick  # fresher than this batch's hits
+        self._tick += np.int64(1)
+
+    def invalidate(self) -> None:
+        """Drop every entry (rule-update hook); counters are kept."""
+        if self._valid is not None:
+            self._valid[:] = False
+            self._result[:] = -1
+        self.stats.invalidations += 1
+
+    # ------------------------------------------------------------------
+    def occupancy_fraction(self) -> float:
+        """Fraction of cache slots currently holding a live entry."""
+        if self._valid is None or not self.entries:
+            return 0.0
+        return float(self._valid.mean())
+
+    def memory_bytes(self, ndim: int = 5) -> int:
+        """Modelled table footprint: key + result + stamp + valid bits."""
+        if self._keys is not None:
+            ndim = self._keys.shape[2]
+        return self.entries * (4 * ndim + 8 + 8 + 1)
+
+
+class CachedClassifier(ClassifierBase):
+    """A flow cache in front of any engine backend, same protocol.
+
+    The wrapped backend remains the source of truth: every result the
+    cache serves was produced by the backend for that exact header, so
+    the cached classifier is bit-identical to the bare one on any trace
+    — the conformance suite asserts it across the whole registry.
+    """
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        entries: int = 4096,
+        ways: int = 4,
+    ) -> None:
+        self.classifier = classifier
+        self.cache = FlowCache(entries, ways=ways)
+        inner = getattr(classifier, "backend_name", type(classifier).__name__)
+        self.backend_name = f"{inner}+cache"
+        schema = getattr(classifier, "schema", None)
+        if schema is not None:
+            self.schema = schema
+        #: Whether the wrapped backend models per-packet occupancy;
+        #: learned on the first backend call so all-hit chunks still
+        #: report a consistent occupancy shape.
+        self._models_occupancy: bool | None = None
+
+    # ------------------------------------------------------------------
+    def classify_batch(self, headers: np.ndarray) -> np.ndarray:
+        return self.batch_stats(headers).match
+
+    def batch_stats(self, headers: np.ndarray) -> BatchStats:
+        headers = np.ascontiguousarray(headers, dtype=np.uint32)
+        n = headers.shape[0]
+        cache = self.cache
+        if n == 0 or not cache.enabled:
+            inner = batch_stats_of(self.classifier, headers)
+            self._models_occupancy = inner.occupancy is not None
+            return BatchStats(
+                match=inner.match,
+                occupancy=inner.occupancy,
+                cache_hits=0,
+                cache_misses=n,
+                cache_evictions=0,
+            )
+        evictions_before = cache.stats.evictions
+        hit, match = cache.probe(headers)
+        miss_rows = np.nonzero(~hit)[0]
+        occupancy = None
+        if miss_rows.size:
+            uniq, inverse = np.unique(
+                headers[miss_rows], axis=0, return_inverse=True
+            )
+            inverse = inverse.reshape(-1)
+            inner = batch_stats_of(self.classifier, uniq)
+            self._models_occupancy = inner.occupancy is not None
+            match[miss_rows] = inner.match[inverse]
+            cache.fill(uniq, np.asarray(inner.match, dtype=np.int64))
+            n_backend = uniq.shape[0]
+            if inner.occupancy is not None:
+                occupancy = np.full(n, HIT_OCCUPANCY_CYCLES, np.int64)
+                occupancy[miss_rows] = inner.occupancy[inverse]
+        else:
+            n_backend = 0
+            if self._models_occupancy:
+                occupancy = np.full(n, HIT_OCCUPANCY_CYCLES, np.int64)
+        hits = n - n_backend
+        cache.stats.lookups += n
+        cache.stats.hits += hits
+        cache.stats.misses += n_backend
+        return BatchStats(
+            match=match,
+            occupancy=occupancy,
+            cache_hits=hits,
+            cache_misses=n_backend,
+            cache_evictions=cache.stats.evictions - evictions_before,
+        )
+
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        ndim = getattr(getattr(self, "schema", None), "ndim", 5)
+        return self.classifier.memory_bytes() + self.cache.memory_bytes(ndim)
+
+    def memory_accesses_per_lookup(self) -> int:
+        """Worst case: one set-wide probe plus the backend's worst case."""
+        probe = 1 if self.cache.enabled else 0
+        return probe + self.classifier.memory_accesses_per_lookup()
+
+    # -- rule-update hooks (incremental backends) ----------------------
+    def invalidate_cache(self) -> None:
+        """Flush the cache after an out-of-band ruleset mutation."""
+        self.cache.invalidate()
+
+    def insert(self, rule):
+        """Delegate to the wrapped classifier, then flush the cache."""
+        out = self.classifier.insert(rule)
+        self.cache.invalidate()
+        return out
+
+    def remove(self, rule_id: int):
+        """Delegate to the wrapped classifier, then flush the cache."""
+        out = self.classifier.remove(rule_id)
+        self.cache.invalidate()
+        return out
+
+    def rebuild(self) -> None:
+        """Delegate to the wrapped classifier, then flush the cache."""
+        self.classifier.rebuild()
+        self.cache.invalidate()
+
+
+def build_cached_backend(
+    name: str,
+    ruleset: RuleSet,
+    *,
+    cache_entries: int = 4096,
+    cache_ways: int = 4,
+    **params,
+) -> CachedClassifier:
+    """Registry composition: build backend ``name`` and wrap it."""
+    return CachedClassifier(
+        build_backend(name, ruleset, **params),
+        entries=cache_entries,
+        ways=cache_ways,
+    )

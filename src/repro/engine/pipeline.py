@@ -55,16 +55,26 @@ DEFAULT_CHUNK_SIZE = 4096
 #: through shared memory instead).
 _SHARD_STATE: tuple[Classifier, np.ndarray | None] | None = None
 
-def _run_chunk(bounds: tuple[int, int]) -> tuple[np.ndarray, np.ndarray | None]:
+#: One processed chunk: (match, occupancy | None,
+#: (hits, misses, evictions) | None).  The cache triple is present only
+#: when the classifier is a flow-cached front-end (see
+#: :mod:`repro.engine.flowcache`).
+ChunkOutput = tuple[
+    np.ndarray, np.ndarray | None, tuple[int, int, int] | None
+]
+
+
+def _run_chunk(bounds: tuple[int, int]) -> ChunkOutput:
     assert _SHARD_STATE is not None
     classifier, headers = _SHARD_STATE
     return _run_chunk_local(classifier, headers, bounds)
 
 
-def _run_chunk_shm(task) -> bool:
+def _run_chunk_shm(task) -> tuple[bool, tuple[int, int, int] | None]:
     """Persistent-pool worker: classify one chunk, write results into the
     shared output buffers, return only whether occupancy was modelled
-    (the parent aggregates everything else from the shared arrays).
+    plus the chunk's flow-cache hit/miss pair (the parent aggregates
+    everything else from the shared arrays).
 
     Segments are attached per task and closed before returning, so an
     idle worker never pins a previous run's (parent-unlinked) segments;
@@ -92,7 +102,7 @@ def _run_chunk_shm(task) -> bool:
 
     try:
         headers = np.ndarray(shape, dtype=dtype, buffer=_attach(in_name).buf)
-        match, occ = _run_chunk_local(classifier, headers, bounds)
+        match, occ, cache = _run_chunk_local(classifier, headers, bounds)
         has_occ = occ is not None
         np.ndarray((n,), np.int64, buffer=_attach(out_name).buf)[
             start:end
@@ -109,18 +119,26 @@ def _run_chunk_shm(task) -> bool:
                 shm.close()
             except BufferError:  # pragma: no cover - error-path views
                 pass  # the view dies with this task's frame anyway
-    return has_occ
+    return has_occ, cache
 
 
 @dataclass(frozen=True)
 class ChunkStats:
-    """Aggregate statistics for one processed chunk."""
+    """Aggregate statistics for one processed chunk.
+
+    ``cache_hits``/``cache_misses``/``cache_evictions`` are filled when
+    the classifier is a flow-cached front-end; ``None`` on bare
+    backends.
+    """
 
     index: int
     start: int
     n_packets: int
     matched: int
     occupancy_sum: int | None = None
+    cache_hits: int | None = None
+    cache_misses: int | None = None
+    cache_evictions: int | None = None
 
     @property
     def matched_fraction(self) -> float:
@@ -144,6 +162,12 @@ class PipelineResult:
     elapsed_s: float
     backend: str = "classifier"
     occupancy: np.ndarray | None = field(default=None, repr=False)
+    #: Flow-cache totals over all chunks (``None`` on bare backends).
+    #: Counts come back from whichever process served each chunk, so
+    #: they are correct in forked/persistent modes too.
+    cache_hits: int | None = None
+    cache_misses: int | None = None
+    cache_evictions: int | None = None
 
     @property
     def n_packets(self) -> int:
@@ -160,6 +184,22 @@ class PipelineResult:
     def throughput_pps(self) -> float:
         """Simulation wall-clock packets/second through the pipeline."""
         return self.n_packets / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    # -- flow-cache aggregation (cached front-ends) ---------------------
+    @property
+    def cache_lookups(self) -> int | None:
+        """Total lookups through the flow cache (hits + backend misses)."""
+        if self.cache_hits is None or self.cache_misses is None:
+            return None
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float | None:
+        """Fraction of packets served without a backend lookup."""
+        lookups = self.cache_lookups
+        if lookups is None:
+            return None
+        return self.cache_hits / lookups if lookups else 0.0
 
     # -- hardware cost aggregation (accelerator-backed pipelines) -------
     def mean_occupancy(self) -> float | None:
@@ -302,7 +342,7 @@ class ClassificationPipeline:
 
     def _run_forked(
         self, headers: np.ndarray, bounds: list[tuple[int, int]]
-    ) -> tuple[list[tuple[np.ndarray, np.ndarray | None]], int]:
+    ) -> tuple[list[ChunkOutput], int]:
         import multiprocessing
 
         global _SHARD_STATE
@@ -321,7 +361,7 @@ class ClassificationPipeline:
 
     def _run_persistent(
         self, headers: np.ndarray, bounds: list[tuple[int, int]]
-    ) -> tuple[list[tuple[np.ndarray, np.ndarray | None]], int]:
+    ) -> tuple[list[ChunkOutput], int]:
         """One run over the long-lived pool with shared-memory transport.
 
         The trace is copied once into a shared input segment; workers
@@ -357,7 +397,7 @@ class ClassificationPipeline:
             ]
             results = pool.map(_run_chunk_shm, tasks)
             match = np.ndarray((n,), np.int64, buffer=shm_out.buf).copy()
-            has_occ = all(results)
+            has_occ = all(r[0] for r in results)
             occupancy = (
                 np.ndarray((n,), np.int64, buffer=shm_occ.buf).copy()
                 if has_occ
@@ -368,21 +408,27 @@ class ClassificationPipeline:
                 shm.close()
                 shm.unlink()
         outputs = [
-            (match[s:e], None if occupancy is None else occupancy[s:e])
-            for s, e in bounds
+            (
+                match[s:e],
+                None if occupancy is None else occupancy[s:e],
+                cache,
+            )
+            for (s, e), (_, cache) in zip(bounds, results)
         ]
         return outputs, min(self._pool_size, len(bounds))
 
     def _aggregate(
         self,
-        outputs: list[tuple[np.ndarray, np.ndarray | None]],
+        outputs: list[ChunkOutput],
         bounds: list[tuple[int, int]],
         n: int,
         elapsed: float,
         workers: int,
     ) -> PipelineResult:
         chunks: list[ChunkStats] = []
-        for i, ((start, end), (match, occ)) in enumerate(zip(bounds, outputs)):
+        for i, ((start, end), (match, occ, cache)) in enumerate(
+            zip(bounds, outputs)
+        ):
             chunks.append(
                 ChunkStats(
                     index=i,
@@ -390,17 +436,22 @@ class ClassificationPipeline:
                     n_packets=end - start,
                     matched=int((match >= 0).sum()),
                     occupancy_sum=None if occ is None else int(occ.sum()),
+                    cache_hits=None if cache is None else cache[0],
+                    cache_misses=None if cache is None else cache[1],
+                    cache_evictions=None if cache is None else cache[2],
                 )
             )
         if outputs:
-            match = np.concatenate([m for m, _ in outputs])
-            occs = [o for _, o in outputs]
+            match = np.concatenate([m for m, _, _ in outputs])
+            occs = [o for _, o, _ in outputs]
             occupancy = (
                 np.concatenate(occs) if all(o is not None for o in occs) else None
             )
         else:
             match = np.empty(0, dtype=np.int64)
             occupancy = None
+        caches = [c for _, _, c in outputs]
+        has_cache = bool(caches) and all(c is not None for c in caches)
         return PipelineResult(
             match=match,
             chunks=chunks,
@@ -410,12 +461,24 @@ class ClassificationPipeline:
             backend=getattr(self.classifier, "backend_name",
                             type(self.classifier).__name__),
             occupancy=occupancy,
+            cache_hits=sum(c[0] for c in caches) if has_cache else None,
+            cache_misses=sum(c[1] for c in caches) if has_cache else None,
+            cache_evictions=sum(c[2] for c in caches) if has_cache else None,
         )
 
 
 def _run_chunk_local(
     classifier: Classifier, headers: np.ndarray, bounds: tuple[int, int]
-) -> tuple[np.ndarray, np.ndarray | None]:
+) -> ChunkOutput:
     start, end = bounds
     stats: BatchStats = batch_stats_of(classifier, headers[start:end])
-    return stats.match, stats.occupancy
+    cache = (
+        None
+        if stats.cache_hits is None or stats.cache_misses is None
+        else (
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.cache_evictions or 0,
+        )
+    )
+    return stats.match, stats.occupancy, cache

@@ -39,10 +39,18 @@ class BatchStats:
 
     ``occupancy`` is the per-packet memory-port cycle count for backends
     that model it (the hardware accelerator); ``None`` elsewhere.
+    ``cache_hits``/``cache_misses``/``cache_evictions`` are filled by
+    the flow-cache front-end
+    (:class:`~repro.engine.flowcache.CachedClassifier`): packets served
+    without a backend lookup, backend lookups issued, and entries
+    evicted while filling this batch; ``None`` on bare backends.
     """
 
     match: np.ndarray
     occupancy: np.ndarray | None = None
+    cache_hits: int | None = None
+    cache_misses: int | None = None
+    cache_evictions: int | None = None
 
     @property
     def n_packets(self) -> int:

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..algorithms import build_hicuts
-from ..classbench import generate_ruleset, generate_trace
+from ..classbench import generate_ruleset
 from ..energy import (
     AYAMA_10128,
     AYAMA_10512,
@@ -31,12 +31,11 @@ from ..energy import (
     Sa1100Model,
     VIRTEX5,
     asic_model,
-    fpga_model,
     software_lookup_ops,
     sustains_line_rate,
 )
 from ..energy.technology import ASIC_AT_133MHZ_MW
-from ..hw import Accelerator, build_memory_image, measure_layout
+from ..hw import measure_layout
 from .common import Pipeline, render_table
 
 

@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-import numpy as np
 
 from ..algorithms import (
     DecisionTree,
@@ -26,7 +25,6 @@ from ..algorithms import (
 )
 from ..algorithms.base import BatchLookup
 from ..classbench import generate_ruleset, generate_trace
-from ..core.errors import CapacityError
 from ..core.packet import PacketTrace
 from ..core.ruleset import RuleSet
 from ..engine import build_backend

@@ -13,11 +13,9 @@ simulator on a small workload.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..algorithms import DecisionTree, build_hicuts, build_hypercuts
 from ..classbench import generate_ruleset, generate_trace
-from ..core.packet import PacketTrace
 from ..core.rules import DEMO_SCHEMA, make_demo_ruleset
 from ..core.ruleset import RuleSet
 from ..hw import build_memory_image, figure5_trace

@@ -236,7 +236,6 @@ class AcceleratorFSM:
         reg_b: _Active | None = None
         active: _Active | None = None
         ready = True
-        guard_limit = 64 * (n + 4) + sum(1 for _ in ())  # linear bound
 
         def try_latch() -> None:
             """Sample Start: move the next packet into Reg B and compute

@@ -38,7 +38,7 @@ from dataclasses import dataclass
 
 from ..core.errors import EncodingError
 from ..core.geometry import range_is_prefix
-from ..core.rules import FIVE_TUPLE, Rule
+from ..core.rules import Rule
 
 WORD_BITS = 4800
 WORD_BYTES = WORD_BITS // 8  # 600

@@ -20,22 +20,19 @@ how the hardware saves the replicated storage.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from ..core.errors import CapacityError, ConfigError, EncodingError
 from ..core.rules import FIVE_TUPLE
-from ..algorithms.base import EMPTY_CHILD, DecisionTree, Node
+from ..algorithms.base import EMPTY_CHILD, DecisionTree
 from .encoding import (
     EMPTY_ADDR,
-    MAX_CHILDREN,
     RULES_PER_WORD,
     ChildEntry,
     encode_internal_node,
     encode_rule,
     pack_leaf_word,
-    unpack_leaf_word,
 )
 from .memory import DEFAULT_CAPACITY_WORDS, MemoryArray, Placement
 

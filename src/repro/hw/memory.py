@@ -14,7 +14,7 @@ shared load interface (``Write_enable`` / ``write_address`` in Figure 4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.errors import CapacityError, EncodingError
 from .encoding import WORD_BITS, WORD_BYTES, word_from_bytes, word_to_bytes

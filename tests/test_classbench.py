@@ -12,6 +12,7 @@ from repro.classbench import (
     IPC1,
     generate_ruleset,
     generate_trace,
+    generate_zipf_trace,
     get_seed,
     paper_acl1_sizes,
     paper_table4_sizes,
@@ -133,3 +134,47 @@ class TestTraceGenerator:
         lows = set(int(v) for v in arrays.lo[2])
         sports = set(int(v) for v in trace.headers[hit][:, 2])
         assert sports <= lows
+
+
+class TestZipfTrace:
+    def test_shape_and_reproducibility(self, acl_small):
+        a = generate_zipf_trace(acl_small, 1500, n_flows=64, skew=1.0, seed=9)
+        b = generate_zipf_trace(acl_small, 1500, n_flows=64, skew=1.0, seed=9)
+        assert a.headers.shape == (1500, 5)
+        assert np.array_equal(a.headers, b.headers)
+        c = generate_zipf_trace(acl_small, 1500, n_flows=64, skew=1.0, seed=10)
+        assert not np.array_equal(a.headers, c.headers)
+
+    def test_flow_pool_bounds_distinct_headers(self, acl_small):
+        trace = generate_zipf_trace(
+            acl_small, 3000, n_flows=32, skew=1.0, seed=11
+        )
+        distinct = np.unique(trace.headers, axis=0)
+        assert len(distinct) <= 32
+
+    def test_skew_concentrates_popularity(self, acl_small):
+        def top_share(skew):
+            trace = generate_zipf_trace(
+                acl_small, 4000, n_flows=256, skew=skew, seed=12
+            )
+            _, counts = np.unique(trace.headers, axis=0, return_counts=True)
+            return counts.max() / counts.sum()
+
+        # Zipf(1.2) piles far more traffic onto the hottest flow than a
+        # uniform (skew=0) draw over the same flow pool.
+        assert top_share(1.2) > 3 * top_share(0.0)
+
+    def test_headers_mostly_match_rules(self, acl_small):
+        trace = generate_zipf_trace(
+            acl_small, 1000, n_flows=64, skew=1.0, seed=13
+        )
+        matches = acl_small.classify_trace(trace)
+        assert (matches >= 0).mean() > 0.8  # headers sampled from rules
+
+    def test_bad_params(self, acl_small):
+        with pytest.raises(ConfigError):
+            generate_zipf_trace(acl_small, 0)
+        with pytest.raises(ConfigError):
+            generate_zipf_trace(acl_small, 10, n_flows=0)
+        with pytest.raises(ConfigError):
+            generate_zipf_trace(acl_small, 10, skew=-0.5)

@@ -70,6 +70,49 @@ class TestClassify:
         assert "classified 300 packets" in capsys.readouterr().out
 
 
+class TestBench:
+    def test_bench_with_flow_cache_zipf(self, capsys):
+        rc = main([
+            "bench", "--family", "acl1", "--rules", "120", "--seed", "3",
+            "--packets", "2000", "--algorithm", "tss",
+            "--cache-entries", "512", "--cache-ways", "4",
+            "--zipf", "1.0", "--flows", "64",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "flow cache: 512 entries x 4-way" in out
+        assert "hit rate" in out
+        assert "effective accesses/lookup" in out
+        assert "J/packet" in out
+
+    def test_bench_without_cache_has_no_cache_report(self, capsys):
+        rc = main([
+            "bench", "--family", "acl1", "--rules", "120", "--seed", "3",
+            "--packets", "1000", "--algorithm", "tss",
+        ])
+        assert rc == 0
+        assert "flow cache" not in capsys.readouterr().out
+
+    def test_classify_with_cache(self, capsys):
+        rc = main([
+            "classify", "--family", "acl1", "--rules", "120", "--seed", "3",
+            "--packets", "1000", "--algorithm", "linear",
+            "--cache-entries", "256",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "flow cache: 256 entries" in out
+
+    def test_bad_cache_geometry_is_clean_error(self, capsys):
+        rc = main([
+            "bench", "--family", "acl1", "--rules", "60", "--seed", "3",
+            "--packets", "500", "--algorithm", "linear",
+            "--cache-entries", "10", "--cache-ways", "4",
+        ])
+        assert rc == 2
+        assert "multiple" in capsys.readouterr().err
+
+
 class TestFsm:
     def test_fsm_trace(self, capsys):
         rc = main([

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro import generate_ruleset, generate_trace
+from repro import generate_trace
 from repro.algorithms import OpCounter, build_hicuts
 from repro.energy import (
     ASIC65,
@@ -30,7 +29,7 @@ from repro.energy.metrics import (
     gain,
     sustains_line_rate,
 )
-from repro.hw import Accelerator, build_memory_image
+from repro.hw import Accelerator
 
 
 class TestEquation8:

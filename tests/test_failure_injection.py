@@ -22,10 +22,8 @@ from repro.hw import (
     build_memory_image,
     decode_internal_node,
     decode_rule,
-    unpack_leaf_word,
 )
-from repro.hw.encoding import ChildEntry, encode_internal_node, set_bits
-from repro.hw.memory import MemoryArray
+from repro.hw.encoding import ChildEntry, encode_internal_node
 
 
 @pytest.fixture()

@@ -1,0 +1,406 @@
+"""Flow-cache front-end: conformance, edge cases, and pipeline stats.
+
+The one contract that matters: a :class:`CachedClassifier` is
+bit-identical to the backend it wraps on any trace, at any shard count —
+the cache only ever serves results the backend itself produced.  The
+conformance class asserts it for every registered backend on a random
+(background-mixed) trace and a Zipf-skewed one, through the pipeline at
+1/2/4 shards.  Edge cases cover the zero-entry cache, capacity-1
+thrash, duplicate packets inside one chunk, and invalidation after an
+incremental rule update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FIVE_TUPLE, PacketTrace, Rule, generate_zipf_trace
+from repro.core.errors import ConfigError
+from repro.engine import (
+    CachedClassifier,
+    ClassificationPipeline,
+    FlowCache,
+    available_backends,
+    build_backend,
+    build_cached_backend,
+)
+from repro.energy import CacheEnergyModel
+
+ALL_BACKENDS = available_backends()
+
+
+@pytest.fixture(scope="module")
+def zipf_trace(acl_small):
+    return generate_zipf_trace(acl_small, 2000, n_flows=64, skew=1.0, seed=301)
+
+
+@pytest.fixture(scope="module", params=ALL_BACKENDS)
+def bare_backend(request, acl_small):
+    return request.param, build_backend(request.param, acl_small)
+
+
+def _headers(rows) -> np.ndarray:
+    return np.asarray(rows, dtype=np.uint32)
+
+
+class CountingClassifier:
+    """Protocol-shaped stub: every header maps to its source-port field,
+    while counting backend calls and rows seen."""
+
+    backend_name = "counting"
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.rows_seen = 0
+
+    def classify_batch(self, headers: np.ndarray) -> np.ndarray:
+        self.calls += 1
+        self.rows_seen += headers.shape[0]
+        return headers[:, 3].astype(np.int64)
+
+    def classify(self, header) -> int:
+        return int(self.classify_batch(_headers([header]))[0])
+
+    def classify_trace(self, trace: PacketTrace) -> np.ndarray:
+        return self.classify_batch(trace.headers)
+
+    def memory_bytes(self) -> int:
+        return 64
+
+    def memory_accesses_per_lookup(self) -> int:
+        return 8
+
+
+class TestFlowCacheUnit:
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigError, match="entries"):
+            FlowCache(-1)
+        with pytest.raises(ConfigError, match="multiple"):
+            FlowCache(10, ways=4)
+        with pytest.raises(ConfigError, match="ways"):
+            FlowCache(8, ways=0)
+
+    def test_zero_entries_disabled(self):
+        cache = FlowCache(0)
+        assert not cache.enabled
+        assert cache.occupancy_fraction() == 0.0
+
+    def test_zero_entry_probe_and_fill_are_noops(self):
+        # FlowCache is public API: a disabled cache must behave as
+        # "every lookup misses", not crash on an empty table.
+        cache = FlowCache(0)
+        hdr = _headers([[1, 2, 3, 4, 5], [6, 7, 8, 9, 1]])
+        hit, result = cache.probe(hdr)
+        assert not hit.any()
+        assert result.tolist() == [-1, -1]
+        cache.fill(hdr, np.array([3, 4], dtype=np.int64))
+        assert not cache.probe(hdr)[0].any()
+
+    def test_probe_hit_after_fill(self):
+        cache = FlowCache(8, ways=2)
+        hdr = _headers([[1, 2, 3, 4, 5], [9, 9, 9, 9, 9]])
+        hit, _ = cache.probe(hdr)
+        assert not hit.any()
+        cache.fill(hdr, np.array([7, -1], dtype=np.int64))
+        hit, result = cache.probe(hdr)
+        assert hit.all()
+        assert result.tolist() == [7, -1]  # negative results cached too
+
+    def test_lru_eviction_order(self):
+        cache = FlowCache(2, ways=2)  # one set of two ways
+        a, b, c = (
+            _headers([[1, 0, 0, 0, 0]]),
+            _headers([[2, 0, 0, 0, 0]]),
+            _headers([[3, 0, 0, 0, 0]]),
+        )
+        cache.fill(a, np.array([10]))
+        cache.fill(b, np.array([11]))
+        assert cache.probe(a)[0].all()  # touch A: B becomes the LRU way
+        cache.fill(c, np.array([12]))  # evicts B
+        assert cache.probe(a)[0].all()
+        assert cache.probe(c)[0].all()
+        assert not cache.probe(b)[0].any()
+        assert cache.stats.evictions == 1
+
+    def test_invalidate_drops_entries_keeps_counters(self):
+        cache = FlowCache(8, ways=2)
+        hdr = _headers([[1, 2, 3, 4, 5]])
+        cache.fill(hdr, np.array([3]))
+        cache.invalidate()
+        assert not cache.probe(hdr)[0].any()
+        assert cache.stats.invalidations == 1
+
+
+class TestCachedClassifierEdgeCases:
+    def test_zero_entry_cache_is_pure_passthrough(self):
+        inner = CountingClassifier()
+        clf = CachedClassifier(inner, entries=0)
+        hdr = _headers([[1, 2, 3, 4, 5]] * 10)
+        stats = clf.batch_stats(hdr)
+        # No coalescing, no hits: all 10 rows reach the backend.
+        assert stats.cache_hits == 0 and stats.cache_misses == 10
+        assert inner.rows_seen == 10
+        assert stats.match.tolist() == [4] * 10
+
+    def test_capacity_one_thrash(self):
+        inner = CountingClassifier()
+        clf = CachedClassifier(inner, entries=1, ways=1)
+        distinct = _headers([[i, 0, 0, i, 0] for i in range(8)])
+        first = clf.batch_stats(distinct)
+        assert first.cache_misses == 8 and first.cache_hits == 0
+        # Every distinct batch keeps missing: the single slot thrashes.
+        second = clf.batch_stats(distinct[:-1])
+        assert second.cache_misses == 7 and second.cache_hits == 0
+        assert clf.cache.stats.hit_rate == 0.0
+        assert clf.cache.stats.evictions >= 1
+        # Results stay correct throughout.
+        assert np.array_equal(first.match, distinct[:, 3].astype(np.int64))
+
+    def test_duplicate_packets_within_one_chunk_coalesce(self):
+        inner = CountingClassifier()
+        clf = CachedClassifier(inner, entries=64, ways=4)
+        hdr = _headers(
+            [[1, 2, 3, 4, 5]] * 5 + [[6, 7, 8, 9, 1]] * 3 + [[1, 2, 3, 4, 5]]
+        )
+        stats = clf.batch_stats(hdr)
+        # 9 packets, 2 distinct headers: one backend call on 2 rows.
+        assert inner.calls == 1 and inner.rows_seen == 2
+        assert stats.cache_misses == 2 and stats.cache_hits == 7
+        assert stats.match.tolist() == [4] * 5 + [9] * 3 + [4]
+
+    def test_scalar_classify_goes_through_cache(self):
+        inner = CountingClassifier()
+        clf = CachedClassifier(inner, entries=64)
+        assert clf.classify((1, 2, 3, 4, 5)) == 4
+        assert clf.classify((1, 2, 3, 4, 5)) == 4
+        assert inner.rows_seen == 1
+
+    def test_memory_hooks_include_cache(self):
+        inner = CountingClassifier()
+        clf = CachedClassifier(inner, entries=64, ways=4)
+        assert clf.memory_bytes() > inner.memory_bytes()
+        assert (
+            clf.memory_accesses_per_lookup()
+            == inner.memory_accesses_per_lookup() + 1
+        )
+        off = CachedClassifier(CountingClassifier(), entries=0)
+        assert off.memory_accesses_per_lookup() == 8
+
+    def test_invalidation_after_incremental_rule_update(
+        self, acl_small, acl_small_trace
+    ):
+        clf = build_cached_backend(
+            "incremental", acl_small, cache_entries=4096
+        )
+        before = clf.classify_trace(acl_small_trace)
+        missed = before < 0
+        assert missed.any()  # the background packets miss the ACL
+        catch_all = Rule(
+            ranges=tuple(
+                (0, FIVE_TUPLE.max_value(d)) for d in range(FIVE_TUPLE.ndim)
+            ),
+            priority=len(acl_small),
+            action=0,
+        )
+        clf.insert(catch_all)
+        assert clf.cache.stats.invalidations == 1
+        after = clf.classify_trace(acl_small_trace)
+        # Stale -1 results must not be served from the cache.
+        new_id = len(acl_small)
+        assert (after[missed] == new_id).all()
+        assert np.array_equal(after[~missed], before[~missed])
+        assert np.array_equal(
+            after, clf.classifier.classify_trace(acl_small_trace)
+        )
+
+    def test_stale_results_without_invalidation(self, acl_small,
+                                                acl_small_trace):
+        """Control for the invalidation test: mutating the wrapped
+        classifier behind the cache's back *does* serve stale results —
+        which is exactly why the update hooks flush."""
+        clf = build_cached_backend(
+            "incremental", acl_small, cache_entries=4096
+        )
+        before = clf.classify_trace(acl_small_trace)
+        missed = before < 0
+        catch_all = Rule(
+            ranges=tuple(
+                (0, FIVE_TUPLE.max_value(d)) for d in range(FIVE_TUPLE.ndim)
+            ),
+            priority=len(acl_small),
+            action=0,
+        )
+        clf.classifier.insert(catch_all)  # bypass the wrapper on purpose
+        stale = clf.classify_trace(acl_small_trace)
+        assert (stale[missed] == -1).all()
+        clf.invalidate_cache()
+        fresh = clf.classify_trace(acl_small_trace)
+        assert (fresh[missed] == len(acl_small)).all()
+
+
+class TestConformance:
+    """Cached == bare, for every backend, both traces, 1/2/4 shards."""
+
+    def test_single_shot_random_trace(
+        self, bare_backend, acl_small_trace
+    ):
+        name, bare = bare_backend
+        cached = CachedClassifier(bare, entries=1024, ways=4)
+        want = bare.classify_trace(acl_small_trace)
+        assert np.array_equal(
+            cached.classify_trace(acl_small_trace), want
+        ), name
+        # And again over the warm cache.
+        assert np.array_equal(
+            cached.classify_trace(acl_small_trace), want
+        ), name
+
+    def test_single_shot_zipf_trace(self, bare_backend, zipf_trace):
+        name, bare = bare_backend
+        cached = CachedClassifier(bare, entries=1024, ways=4)
+        want = bare.classify_trace(zipf_trace)
+        assert np.array_equal(cached.classify_trace(zipf_trace), want), name
+        assert cached.cache.stats.hit_rate > 0.5, name  # Zipf(1.0) is hot
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_pipeline_shards_random_trace(
+        self, bare_backend, acl_small_trace, shards
+    ):
+        name, bare = bare_backend
+        cached = CachedClassifier(bare, entries=1024, ways=4)
+        res = ClassificationPipeline(
+            cached, chunk_size=512, shards=shards
+        ).run(acl_small_trace)
+        assert np.array_equal(
+            res.match, bare.classify_trace(acl_small_trace)
+        ), name
+        assert res.cache_hits + res.cache_misses == res.n_packets, name
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_pipeline_shards_zipf_trace(
+        self, bare_backend, zipf_trace, shards
+    ):
+        name, bare = bare_backend
+        cached = CachedClassifier(bare, entries=1024, ways=4)
+        res = ClassificationPipeline(
+            cached, chunk_size=512, shards=shards
+        ).run(zipf_trace)
+        assert np.array_equal(
+            res.match, bare.classify_trace(zipf_trace)
+        ), name
+        assert res.cache_hit_rate > 0.5, name
+
+
+class TestPipelineCacheStats:
+    def test_bare_backend_reports_no_cache_fields(
+        self, acl_small, acl_small_trace
+    ):
+        clf = build_backend("linear", acl_small)
+        res = ClassificationPipeline(clf, chunk_size=512).run(acl_small_trace)
+        assert res.cache_hits is None
+        assert res.cache_hit_rate is None
+        assert all(c.cache_hits is None for c in res.chunks)
+
+    def test_chunk_stats_sum_to_totals(self, acl_small, zipf_trace):
+        cached = build_cached_backend("linear", acl_small, cache_entries=1024)
+        res = ClassificationPipeline(cached, chunk_size=256).run(zipf_trace)
+        assert sum(c.cache_hits for c in res.chunks) == res.cache_hits
+        assert sum(c.cache_misses for c in res.chunks) == res.cache_misses
+        assert res.cache_lookups == res.n_packets
+
+    def test_warm_cache_second_run_all_hits(self, acl_small, zipf_trace):
+        cached = build_cached_backend("linear", acl_small, cache_entries=1024)
+        pipeline = ClassificationPipeline(cached, chunk_size=256)  # 1 shard
+        pipeline.run(zipf_trace)
+        res = pipeline.run(zipf_trace)  # 64 flows all fit: no misses left
+        assert res.cache_hits == res.n_packets
+        assert res.cache_hit_rate == 1.0
+
+    def test_evictions_travel_back_from_forked_shards(
+        self, acl_small, zipf_trace
+    ):
+        """Eviction counts happen inside forked workers; the pipeline
+        must report them from the chunk outputs, not the parent cache
+        (which forked runs never touch)."""
+        cached = build_cached_backend(
+            "linear", acl_small, cache_entries=4, cache_ways=1
+        )
+        res = ClassificationPipeline(
+            cached, chunk_size=256, shards=2
+        ).run(zipf_trace)
+        assert res.cache_evictions is not None
+        assert res.cache_evictions > 0  # 64 flows thrash a 4-entry cache
+        assert sum(c.cache_evictions for c in res.chunks) == (
+            res.cache_evictions
+        )
+
+    def test_persistent_pool_update_then_close_serves_fresh(
+        self, acl_small, acl_small_trace
+    ):
+        """The documented rule-update recipe over a persistent pool:
+        mutate through the wrapper, close() the pool, rerun."""
+        cached = build_cached_backend(
+            "incremental", acl_small, cache_entries=1024
+        )
+        with ClassificationPipeline(
+            cached, chunk_size=512, shards=2, persistent=True
+        ) as pipeline:
+            before = pipeline.run(acl_small_trace).match
+            missed = before < 0
+            assert missed.any()
+            catch_all = Rule(
+                ranges=tuple(
+                    (0, FIVE_TUPLE.max_value(d))
+                    for d in range(FIVE_TUPLE.ndim)
+                ),
+                priority=len(acl_small),
+                action=0,
+            )
+            cached.insert(catch_all)  # delegates + invalidates
+            pipeline.close()  # workers held the pre-insert snapshot
+            after = pipeline.run(acl_small_trace).match
+        assert (after[missed] == len(acl_small)).all()
+        assert np.array_equal(after[~missed], before[~missed])
+
+    def test_cached_accelerator_occupancy_drops(self, acl_small, zipf_trace):
+        bare = build_backend("accelerator", acl_small)
+        base = ClassificationPipeline(bare, chunk_size=256).run(zipf_trace)
+        cached = CachedClassifier(bare, entries=1024, ways=4)
+        res = ClassificationPipeline(cached, chunk_size=256).run(zipf_trace)
+        assert np.array_equal(res.match, base.match)
+        assert res.mean_occupancy() is not None
+        assert res.mean_occupancy() <= base.mean_occupancy()
+
+
+class TestCacheEnergyModel:
+    def test_effective_accesses_interpolates(self):
+        model = CacheEnergyModel(backend_accesses=10.0)
+        assert model.effective_accesses_per_lookup(1.0) == 1.0
+        assert model.effective_accesses_per_lookup(0.0) == 12.0
+        mid = model.effective_accesses_per_lookup(0.5)
+        assert mid == pytest.approx(6.5)
+        assert model.effective_lookup_speedup(0.9) > 2.0
+
+    def test_energy_split_monotone_in_hit_rate(self):
+        model = CacheEnergyModel(backend_accesses=10.0)
+        assert (
+            model.energy_per_packet_j(0.9)
+            < model.energy_per_packet_j(0.5)
+            < model.energy_per_packet_j(0.0)
+        )
+        assert model.uncached_energy_per_packet_j() == pytest.approx(
+            10.0 * model.energy_per_access_j
+        )
+
+    def test_for_classifier_unwraps_cache(self, acl_small):
+        cached = build_cached_backend("linear", acl_small, cache_entries=64)
+        model = CacheEnergyModel.for_classifier(cached)
+        assert model.backend_accesses == float(
+            cached.classifier.memory_accesses_per_lookup()
+        )
+
+    def test_bad_hit_rate_rejected(self):
+        model = CacheEnergyModel(backend_accesses=10.0)
+        with pytest.raises(ValueError):
+            model.energy_per_packet_j(1.5)

@@ -5,8 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import generate_ruleset, generate_trace
-from repro.algorithms import LinearSearchClassifier, build_hicuts
+from repro.algorithms import build_hicuts
 from repro.algorithms.hicuts import DIM_HEURISTICS, HiCutsConfig
 from repro.core.errors import ConfigError
 from repro.experiments import Pipeline

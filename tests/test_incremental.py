@@ -128,7 +128,6 @@ class TestRebuild:
             inc.insert(rule)
         inc.remove(2)
         trace = generate_trace(inc.live_ruleset(), 1000, seed=101)
-        before = oracle_match(inc, trace)
         want_live = LinearSearchClassifier(inc.live_ruleset()).classify_trace(trace)
         inc.rebuild()
         got = inc.classify_trace(trace)

@@ -2,15 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import generate_ruleset
-from repro.algorithms import build_hicuts, build_hypercuts
+from repro.algorithms import build_hicuts
 from repro.core.errors import CapacityError, ConfigError
-from repro.core.rules import DEMO_SCHEMA
-from repro.core.ruleset import RuleSet
-from repro.core.rules import make_demo_ruleset
 from repro.hw import (
     DEFAULT_CAPACITY_WORDS,
     RULES_PER_WORD,

@@ -7,7 +7,6 @@ with hypothesis over random rule interval sets.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -101,10 +100,10 @@ class TestMaxCountGrid:
         assert max_count_grid([f0, f1], [l0, l1], (c0, c1)) == grid.max()
 
     def test_refs_multi(self):
-        f = [np.array([0, 1]), np.array([0, 0])]
-        l = [np.array([1, 1]), np.array([2, 0])]
+        firsts = [np.array([0, 1]), np.array([0, 0])]
+        lasts = [np.array([1, 1]), np.array([2, 0])]
         # rule0: 2 x 3 children, rule1: 1 x 1.
-        assert refs_multi(f, l) == 7
+        assert refs_multi(firsts, lasts) == 7
 
 
 class TestAssignChildren:
@@ -121,8 +120,8 @@ class TestAssignChildren:
         n = 200
         ids = np.sort(rng.choice(10_000, size=n, replace=False)).astype(np.int64)
         f = rng.integers(0, 4, size=n)
-        l = f + rng.integers(0, 4 - f)
-        out = assign_children(ids, [f], [l], (4,))
+        last = f + rng.integers(0, 4 - f)
+        out = assign_children(ids, [f], [last], (4,))
         for child in out:
             assert np.all(np.diff(child) > 0)  # still ascending
 
@@ -214,7 +213,6 @@ class TestEliminateRedundant:
         ids = np.arange(len(spans), dtype=np.int64)
         kept = eliminate_redundant(arr, ids, DEMO_SCHEMA.universe())
         for v in range(32):
-            header = (v, 0, 0, 0, 0)
             want = next(
                 (int(i) for i in ids if arr.lo[0, i] <= v <= arr.hi[0, i]), -1
             )

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import generate_ruleset, generate_trace
+from repro import generate_trace
 from repro.algorithms import OpCounter, build_hicuts, build_hypercuts
 from repro.algorithms.base import EMPTY_CHILD
 from repro.core.packet import PacketTrace
