@@ -2,19 +2,29 @@
 
 Emits a GitHub-flavoured markdown table of current-vs-baseline ratios
 for every numeric metric the two files share, so the bench CI job can
-append it to ``$GITHUB_STEP_SUMMARY``.  Warn-only by design: the script
-always exits 0 — regressions are surfaced, not enforced — because the
-bench job runs on shared, noisy runners.
+append it to ``$GITHUB_STEP_SUMMARY``.
+
+Two enforcement tiers:
+
+* **informational metrics** (throughput points, wall-clock seconds) are
+  warn-only — flagged below ``--threshold`` but never fail the run,
+  because the bench job lives on shared, noisy runners;
+* **gated metrics** (:data:`GATED_METRICS` — the speedup/amortisation
+  ratios the acceptance gates assert) FAIL the run (exit 1) when they
+  regress below ``--fail-threshold`` (default 0.75, i.e. a >25%
+  regression) or disappear from the current results entirely.  Ratios
+  of ratios are far less runner-sensitive than absolute pps, which is
+  what makes a hard gate tenable here.
 
 Usage::
 
     python benchmarks/compare_baseline.py BENCH_engine.json \
-        benchmarks/baseline.json [--threshold 0.8]
+        benchmarks/baseline.json [--threshold 0.8] [--fail-threshold 0.75]
 
-Metrics whose key marks them as costs (``*_s``, ``*_ms_per_run``,
-``*_j``, ``*_accesses_per_lookup``) improve downward; everything else
-(pps, speedups, rates) improves upward.  Ratios are always oriented so > 1.0 means "better than
-baseline", and rows below ``--threshold`` are flagged.
+Metrics whose key marks them as costs (``*_s``, ``*_ms``,
+``*_ms_per_run``, ``*_j``, ``*_accesses_per_lookup``) improve downward;
+everything else (pps, speedups, rates) improves upward.  Ratios are
+always oriented so > 1.0 means "better than baseline".
 """
 
 from __future__ import annotations
@@ -22,6 +32,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+
+#: Flattened metric keys enforced as hard gates: a >25% regression (or
+#: the metric vanishing) fails the comparison instead of warning.
+GATED_METRICS = frozenset({
+    "flat_kernel_gate.speedup",
+    "update_patch.speedup",
+    "flowcache.effective_lookup_speedup",
+    "pipeline_pool.amortisation",
+})
 
 
 def _flatten(prefix: str, obj, out: dict) -> None:
@@ -36,13 +55,17 @@ def _lower_is_better(key: str) -> bool:
     leaf = key.rsplit(".", 1)[-1]
     return (
         leaf.endswith("_s")
+        or leaf.endswith("_ms")
         or leaf.endswith("_ms_per_run")
         or leaf.endswith("_j")
         or leaf.endswith("_accesses_per_lookup")
     )
 
 
-def compare(current: dict, baseline: dict, threshold: float) -> str:
+def compare(
+    current: dict, baseline: dict, threshold: float, fail_threshold: float
+) -> tuple[str, list[str]]:
+    """Markdown report plus the list of failed gated metrics."""
     cur, base = {}, {}
     _flatten("", current, cur)
     _flatten("", baseline, base)
@@ -54,6 +77,7 @@ def compare(current: dict, baseline: dict, threshold: float) -> str:
         "| --- | ---: | ---: | ---: | --- |",
     ]
     flagged = 0
+    failures: list[str] = []
     for key in shared:
         b, c = base[key], cur[key]
         if b == 0 or c == 0:
@@ -63,12 +87,22 @@ def compare(current: dict, baseline: dict, threshold: float) -> str:
         else:
             ratio = c / b
         mark = ""
-        if ratio == ratio and ratio < threshold:  # NaN-safe
+        gated = key in GATED_METRICS
+        if gated and (ratio != ratio or ratio < fail_threshold):
+            # A gated metric collapsing to 0 (NaN ratio) is the most
+            # extreme regression, not a pass.
+            mark = ":x: gated"
+            failures.append(key)
+        elif gated:
+            mark = "gated"
+        elif ratio == ratio and ratio < threshold:  # NaN-safe warn
             mark = ":warning:"
             flagged += 1
         lines.append(
             f"| `{key}` | {b:g} | {c:g} | {ratio:.2f} | {mark} |"
         )
+    missing_gated = sorted(GATED_METRICS & set(base) - set(cur))
+    failures.extend(missing_gated)
     only_cur = sorted(set(cur) - set(base))
     if only_cur:
         lines += ["", f"New metrics (no baseline yet): "
@@ -82,7 +116,14 @@ def compare(current: dict, baseline: dict, threshold: float) -> str:
         f"{len(shared)} shared metrics, {flagged} below the "
         f"{threshold:.0%} warn threshold (informational only).",
     ]
-    return "\n".join(lines)
+    if failures:
+        lines += [
+            "",
+            f"**FAIL**: gated metric(s) regressed more than "
+            f"{1 - fail_threshold:.0%} (or vanished): "
+            f"{', '.join(f'`{k}`' for k in sorted(set(failures)))}",
+        ]
+    return "\n".join(lines), sorted(set(failures))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -90,7 +131,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("current", help="fresh BENCH_engine.json")
     parser.add_argument("baseline", help="committed benchmarks/baseline.json")
     parser.add_argument("--threshold", type=float, default=0.8,
-                        help="ratio below which a row is flagged")
+                        help="ratio below which a row is flagged (warn)")
+    parser.add_argument("--fail-threshold", type=float, default=0.75,
+                        help="ratio below which a GATED metric fails the "
+                             "comparison")
     args = parser.parse_args(argv)
     try:
         with open(args.current, encoding="utf-8") as fh:
@@ -99,8 +143,16 @@ def main(argv: list[str] | None = None) -> int:
             baseline = json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
         print(f"baseline comparison skipped: {exc}", file=sys.stderr)
-        return 0  # warn-only: never fail the job
-    print(compare(current, baseline, args.threshold))
+        return 0  # missing inputs stay non-fatal (fresh checkouts)
+    report, failures = compare(
+        current, baseline, args.threshold, args.fail_threshold
+    )
+    print(report)
+    if failures:
+        print(
+            f"gated regression(s): {', '.join(failures)}", file=sys.stderr
+        )
+        return 1
     return 0
 
 

@@ -23,12 +23,17 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro import generate_ruleset
 from repro.algorithms import TupleSpaceClassifier, build_hicuts
+from repro.algorithms.flat_tree import FlatTree
+from repro.algorithms.incremental import IncrementalClassifier
+from repro.classbench import generate_update_stream
 from repro.energy import CacheEnergyModel
 from repro.engine import (
     CachedClassifier,
     ClassificationPipeline,
     build_backend,
+    build_updatable_backend,
 )
 
 pytestmark = pytest.mark.bench
@@ -294,6 +299,65 @@ def test_cached_pipeline_throughput(
         acl1k_zipf_trace.n_packets / benchmark.stats.stats.min
     )
     assert res.cache_hit_rate is not None and res.cache_hit_rate > 0.5
+
+
+# ---------------------------------------------------------------------------
+# Incremental kernel patching vs full recompilation
+# ---------------------------------------------------------------------------
+def test_flat_patch_vs_recompile_gate(acl10k):
+    """Acceptance gate: a single-rule update on a 10k-rule tree patches
+    the compiled kernel >= 3x faster than recompiling it, bit-identically
+    (the conformance suite proves the identity; this gates the latency).
+    Lands as ``update_patch`` in ``BENCH_engine.json``."""
+    inc = IncrementalClassifier(
+        acl10k, algorithm="hypercuts", binth=30, spfac=4, hw_mode=True
+    )
+    tree = inc.tree
+    tree.flat  # initial compile outside the timed region
+    updates = list(generate_ruleset("acl1", 12, seed=77).rules)
+    patch_times = []
+    for rule in updates:
+        inc.insert(rule)
+        t0 = time.perf_counter()
+        tree.flat  # applies the row splice
+        patch_times.append(time.perf_counter() - t0)
+    assert tree.flat_compiles == 1, "update fell back to full recompile"
+    assert tree.flat_patches == len(updates)
+    t_patch = float(np.median(patch_times))
+    t_recompile = _best_of(lambda: FlatTree(tree))
+    speedup = t_recompile / t_patch
+    _PERF["update_patch"] = {
+        "rules": 10_000,
+        "updates": len(updates),
+        "nodes": len(tree.nodes),
+        "patch_ms": round(t_patch * 1e3, 3),
+        "recompile_ms": round(t_recompile * 1e3, 3),
+        "speedup": round(speedup, 2),
+    }
+    assert speedup >= 3, f"kernel patch only {speedup:.1f}x a recompile"
+
+
+def test_update_serving_pipeline(acl1k, acl1k_trace):
+    """Live-update serving throughput: the pipeline with an interleaved
+    64-op churn stream over the incremental backend (20k packets)."""
+    schedule = generate_update_stream(
+        acl1k, 64, acl1k_trace.n_packets, batch_size=8, seed=78
+    )
+    clf = build_updatable_backend(
+        "incremental", acl1k, algorithm="hicuts", binth=30, spfac=4
+    )
+    pipeline = ClassificationPipeline(clf, chunk_size=2048)
+    t0 = time.perf_counter()
+    res = pipeline.run(acl1k_trace, updates=schedule)
+    elapsed = time.perf_counter() - t0
+    assert res.update_ops == 64
+    assert res.final_epoch == len(schedule)
+    _PERF["update_serving"] = {
+        "updates": res.update_ops,
+        "batches": res.update_batches,
+        "packets": res.n_packets,
+        "pps": round(res.n_packets / elapsed),
+    }
 
 
 # ---------------------------------------------------------------------------

@@ -113,6 +113,12 @@ class DecisionTree:
         self.params = dict(params)
         self.build_ops = build_ops
         self._flat = None  # lazily compiled FlatTree kernel
+        self._flat_dirty: set[int] = set()  # node ids awaiting a patch
+        #: Serving-path counters: full kernel compiles vs row-splice
+        #: patches.  The update-serving tests pin the patch path with
+        #: these, so a silent fallback to recompiling fails loudly.
+        self.flat_compiles = 0
+        self.flat_patches = 0
 
     # ------------------------------------------------------------------
     # Basic structure queries
@@ -239,20 +245,42 @@ class DecisionTree:
     # ------------------------------------------------------------------
     @property
     def flat(self) -> "FlatTree":
-        """The compiled flat-array kernel (built once, cached).
+        """The compiled flat-array kernel (built once, kept current).
 
-        Any in-place structural mutation (the incremental updater) must
-        call :meth:`invalidate_cache` so the next batch lookup recompiles.
+        In-place structural mutations report their touched node ids via
+        :meth:`mark_dirty`; the next access *patches* the compiled
+        buffers (a row splice, bit-identical to a fresh compile) instead
+        of recompiling the whole kernel on the serving thread.
+        :meth:`invalidate_cache` remains the big hammer that forces a
+        full recompile.
         """
+        if self._flat is not None and self._flat_dirty:
+            if self._flat.patch(self._flat_dirty):
+                self.flat_patches += 1
+            else:
+                self._flat = None
+            self._flat_dirty.clear()
         if self._flat is None:
             from .flat_tree import FlatTree
 
             self._flat = FlatTree(self)
+            self.flat_compiles += 1
+            self._flat_dirty.clear()
         return self._flat
+
+    def mark_dirty(self, node_ids) -> None:
+        """Record mutated node ids for incremental kernel patching.
+
+        With no compiled kernel yet there is nothing to patch — the
+        first :attr:`flat` access compiles fresh anyway.
+        """
+        if self._flat is not None:
+            self._flat_dirty.update(int(i) for i in node_ids)
 
     def invalidate_cache(self) -> None:
         """Drop the compiled kernel after a structural mutation."""
         self._flat = None
+        self._flat_dirty.clear()
 
     def batch_lookup(self, trace: PacketTrace) -> "BatchLookup":
         """Classify a whole trace, returning per-packet path statistics.

@@ -34,6 +34,23 @@ bit-for-bit on every :class:`~repro.algorithms.base.BatchLookup` field
 non-grid compacted-region dead path — the conformance suite in
 ``tests/test_flat_tree.py`` asserts it, which keeps the energy and
 occupancy models built on those statistics valid unchanged.
+
+**Incremental kernel patching.**  The incremental updater
+(:mod:`repro.algorithms.incremental`) mutates a handful of nodes per
+rule update; recompiling the whole kernel for that would put an
+O(all-nodes) Python pass on the control-plane path.  :meth:`FlatTree.
+patch` instead *splices* only the rows of the touched node ids: per-node
+scalar and axis-table columns are rewritten in place, each CSR table is
+reassembled with one gather/scatter that moves every unchanged row and
+writes the recomputed rows at their canonical offsets, and the
+mask/shift tables are re-derived.  The patched buffers are **bit
+identical to a fresh compile of the mutated tree** (base offsets are
+recomputed with the same cumulative-sum convention the compiler uses),
+so every downstream consumer — and the bit-for-bit conformance suite —
+is oblivious to which path built them.  ``tests/test_flat_patch.py``
+asserts the identity after every patch; the benchmark suite gates the
+patch at >= 3x a full recompile for single-rule updates on a 10k-rule
+tree (``update_patch`` in ``BENCH_engine.json``).
 """
 
 from __future__ import annotations
@@ -82,7 +99,11 @@ class FlatTree:
         self.ax_span = np.ones(shape, dtype=np.int64)
 
         # CSR tables: children, leaf rule lists, pushed rule lists.
+        # ``*_len`` records every row's width (``child_len`` exists so the
+        # patcher can recompute canonical base offsets without touching
+        # the node objects of unchanged rows).
         self.child_base = np.zeros(n_nodes, dtype=np.int64)
+        self.child_len = np.zeros(n_nodes, dtype=np.int64)
         self.leaf_base = np.zeros(n_nodes, dtype=np.int64)
         self.leaf_len = np.zeros(n_nodes, dtype=np.int64)
         self.push_base = np.zeros(n_nodes, dtype=np.int64)
@@ -100,18 +121,9 @@ class FlatTree:
                 leaf_rules.append(np.asarray(node.rule_ids, dtype=np.int64))
                 leaf_off += node.rule_ids.size
                 continue
-            strides = node.child_strides()
-            for a, (dim, ncuts, stride) in enumerate(
-                zip(node.cut_dims, node.cut_counts, strides)
-            ):
-                lo, hi = node.region[dim]
-                self.ax_dim[a, nid] = dim
-                self.ax_ncuts[a, nid] = ncuts
-                self.ax_stride[a, nid] = stride
-                self.ax_lo[a, nid] = lo
-                self.ax_hi[a, nid] = hi
-                self.ax_span[a, nid] = hi - lo + 1
+            self._fill_internal_axes(nid, node)
             self.child_base[nid] = child_off
+            self.child_len[nid] = node.n_children
             children.append(np.asarray(node.children, dtype=np.int32))
             child_off += node.n_children
             if node.pushed.size:
@@ -128,8 +140,32 @@ class FlatTree:
         self.children = _cat(children, np.int32)
         self.leaf_rules = _cat(leaf_rules, np.int64)
         self.push_rules = _cat(push_rules, np.int64)
-        self.has_pushed = bool(self.push_rules.size)
+        self._refresh_bounds(arrays)
+        self._finalize_pow2()
+        # How many internal nodes use every axis slot.  The patcher
+        # keeps this current so it can detect — without rescanning all
+        # nodes — when an update would change the padded table width
+        # (either direction), which forces a full recompile.
+        widths = (self.ax_stride > 0).sum(axis=0)
+        self._n_widest = int((widths == self.naxes).sum())
 
+    # ------------------------------------------------------------------
+    def _fill_internal_axes(self, nid: int, node) -> None:
+        """Write an internal node's axis-slot columns (slots beyond its
+        arity keep the padded defaults)."""
+        strides = node.child_strides()
+        for a, (dim, ncuts, stride) in enumerate(
+            zip(node.cut_dims, node.cut_counts, strides)
+        ):
+            lo, hi = node.region[dim]
+            self.ax_dim[a, nid] = dim
+            self.ax_ncuts[a, nid] = ncuts
+            self.ax_stride[a, nid] = stride
+            self.ax_lo[a, nid] = lo
+            self.ax_hi[a, nid] = hi
+            self.ax_span[a, nid] = hi - lo + 1
+
+    def _refresh_bounds(self, arrays) -> None:
         # Rule intervals re-ordered by CSR slot (``bounds[d, pos]`` is the
         # bound of the rule stored at flat leaf/pushed position ``pos``).
         # Positions within a packet's list are consecutive, so the lookup
@@ -142,7 +178,9 @@ class FlatTree:
         self.leaf_span = arrays.hi[:, self.leaf_rules] - self.leaf_lo
         self.push_lo = arrays.lo[:, self.push_rules]
         self.push_span = arrays.hi[:, self.push_rules] - self.push_lo
+        self.has_pushed = bool(self.push_rules.size)
 
+    def _finalize_pow2(self) -> None:
         # Grid fast path: every internal span and cut count is a power of
         # two (the alignment invariant grid trees are built around), so
         # child indexing compiles to the hardware's mask/shift unit.
@@ -162,25 +200,304 @@ class FlatTree:
                 log2span = np.log2(spans.astype(np.float64)).astype(np.int64)
                 log2cuts = np.log2(ncuts.astype(np.float64)).astype(np.int64)
                 self.ax_shift = np.maximum(log2span - log2cuts, 0)
+        if not self.pow2:
+            # A fresh compile of a non-pow2 tree has no mask/shift tables;
+            # keep the patched object shape-identical.
+            for name in ("ax_mask", "ax_shift"):
+                if hasattr(self, name):
+                    delattr(self, name)
 
     # ------------------------------------------------------------------
     @property
     def n_nodes(self) -> int:
         return len(self.kind)
 
+    #: Every buffer the kernel is made of; the patch conformance suite
+    #: asserts bit-identity with a fresh compile over exactly this list.
+    BUFFER_NAMES = (
+        "kind", "ax_dim", "ax_ncuts", "ax_stride",
+        "ax_lo", "ax_hi", "ax_span", "child_base", "child_len",
+        "leaf_base", "leaf_len", "push_base", "push_len", "children",
+        "leaf_rules", "push_rules", "leaf_lo", "leaf_span", "push_lo",
+        "push_span",
+    )
+
     def nbytes(self) -> int:
         """Total size of the compiled kernel buffers."""
         total = 0
-        for name in (
-            "kind", "ax_dim", "ax_ncuts", "ax_stride",
-            "ax_lo", "ax_hi", "ax_span", "child_base", "leaf_base",
-            "leaf_len", "push_base", "push_len", "children", "leaf_rules",
-            "push_rules", "leaf_lo", "leaf_span", "push_lo", "push_span",
-        ):
+        for name in self.BUFFER_NAMES:
             total += getattr(self, name).nbytes
         if self.pow2:
             total += self.ax_mask.nbytes + self.ax_shift.nbytes
         return total
+
+    # ------------------------------------------------------------------
+    # Incremental kernel patching (update serving)
+    # ------------------------------------------------------------------
+    def patch(self, dirty) -> bool:
+        """Splice the rows of the ``dirty`` node ids into the buffers.
+
+        ``dirty`` is the set of node ids the incremental updater touched
+        (mutated leaves, cloned/rebased nodes, re-pointed parents);
+        appended nodes are picked up automatically.  On success the
+        buffers are bit-identical to ``FlatTree(self.tree)`` compiled
+        from scratch.  Returns ``False`` — leaving the buffers untouched
+        — when the mutation cannot be expressed as a row splice (the
+        padded axis-table width changed), in which case the caller must
+        recompile.
+        """
+        nodes = self.tree.nodes
+        n_new = len(nodes)
+        n_old = self.kind.size
+        if n_new < n_old:
+            return False  # nodes are never deleted; defensive
+        dirty = {int(d) for d in dirty}
+        dirty.update(range(n_old, n_new))
+        if not dirty:
+            return True
+        if min(dirty) < 0 or max(dirty) >= n_new:
+            return False
+        # The padded axis-table width is a global property (the widest
+        # internal node); a width change in either direction reshapes
+        # every gather, so those rare updates fall back to a full
+        # recompile.  ``_n_widest`` tracks how many nodes pin the
+        # current width, so no rescan of unchanged nodes is needed.
+        delta_widest = 0
+        for nid in dirty:
+            node = nodes[nid]
+            new_w = 0 if node.is_leaf else len(node.cut_dims)
+            if new_w > self.naxes:
+                return False  # would widen the padded tables
+            if self.grid_mode and self.pow2 and not node.is_leaf:
+                # Validate the alignment *before* any buffer mutation so
+                # a False return really does leave the kernel untouched.
+                for dim, ncuts in zip(node.cut_dims, node.cut_counts):
+                    lo, hi = node.region[dim]
+                    span = hi - lo + 1
+                    if span & (span - 1) or ncuts & (ncuts - 1):
+                        return False  # lost pow2; caller recompiles
+            old_w = (
+                int((self.ax_stride[:, nid] > 0).sum()) if nid < n_old else 0
+            )
+            delta_widest += (new_w == self.naxes) - (old_w == self.naxes)
+        if self._n_widest + delta_widest <= 0:
+            return False  # the widest node vanished; tables would narrow
+        self._n_widest += delta_widest
+
+        arrays = self.tree.ruleset.arrays
+        # Participation snapshot before the dirty loop mutates ``kind``.
+        old_internal = self.kind != LEAF
+        old_n_old = self.kind.size
+        old_tables = {
+            "children": (self.children, self.child_base,
+                         self.child_len.copy()),
+            "leaf": (self.leaf_rules, self.leaf_base, self.leaf_len.copy()),
+            "push": (self.push_rules, self.push_base, self.push_len.copy()),
+        }
+
+        grow = n_new - n_old
+        ax_defaults = (
+            ("ax_dim", 0), ("ax_ncuts", 1), ("ax_stride", 0),
+            ("ax_lo", 0), ("ax_hi", _PAD_HI), ("ax_span", 1),
+        )
+        if grow:
+            self.kind = np.concatenate(
+                [self.kind, np.empty(grow, dtype=np.int8)]
+            )
+            names = list(ax_defaults)
+            if self.pow2:
+                # Padded defaults: mask = span-1 = 0, shift = 0.
+                names += [("ax_mask", 0), ("ax_shift", 0)]
+            for name, fill in names:
+                tab = getattr(self, name)
+                pad = np.full((self.naxes, grow), fill, dtype=tab.dtype)
+                setattr(self, name, np.concatenate([tab, pad], axis=1))
+            for name in ("child_len", "leaf_len", "push_len"):
+                setattr(self, name, np.concatenate(
+                    [getattr(self, name), np.zeros(grow, dtype=np.int64)]
+                ))
+
+        # Recompute the touched rows from their (mutated) node objects.
+        new_children: dict[int, np.ndarray] = {}
+        new_leaf: dict[int, np.ndarray] = {}
+        new_push: dict[int, np.ndarray] = {}
+        empty32 = np.empty(0, dtype=np.int32)
+        empty64 = np.empty(0, dtype=np.int64)
+        for nid in dirty:
+            node = nodes[nid]
+            self.kind[nid] = node.kind
+            for name, fill in ax_defaults:
+                getattr(self, name)[:, nid] = fill
+            if node.is_leaf:
+                self.child_len[nid] = 0
+                self.push_len[nid] = 0
+                self.leaf_len[nid] = node.rule_ids.size
+                new_children[nid] = empty32
+                new_push[nid] = empty64
+                new_leaf[nid] = np.asarray(node.rule_ids, dtype=np.int64)
+            else:
+                self._fill_internal_axes(nid, node)
+                self.leaf_len[nid] = 0
+                self.child_len[nid] = node.n_children
+                self.push_len[nid] = node.pushed.size
+                new_leaf[nid] = empty64
+                new_children[nid] = np.asarray(node.children, dtype=np.int32)
+                new_push[nid] = (
+                    np.asarray(node.pushed, dtype=np.int64)
+                    if node.pushed.size else empty64
+                )
+
+        # Canonical participation masks, exactly the compiler's layout:
+        # every internal node owns a children row, every leaf a leaf row,
+        # and only internal nodes with pushed rules own a push row.
+        internal = self.kind != LEAF
+
+        data, base, _, _ = self._patch_table(
+            *old_tables["children"], old_internal, self.child_len,
+            internal, new_children, dirty, old_n_old,
+        )
+        self.children, self.child_base = data, base
+        data, base, lo, span = self._patch_table(
+            *old_tables["leaf"], ~old_internal, self.leaf_len,
+            ~internal, new_leaf, dirty, old_n_old,
+            bounds=(self.leaf_lo, self.leaf_span, arrays),
+        )
+        self.leaf_rules, self.leaf_base = data, base
+        self.leaf_lo, self.leaf_span = lo, span
+        data, base, lo, span = self._patch_table(
+            *old_tables["push"],
+            old_internal & (old_tables["push"][2] > 0), self.push_len,
+            internal & (self.push_len > 0), new_push, dirty, old_n_old,
+            bounds=(self.push_lo, self.push_span, arrays),
+        )
+        self.push_rules, self.push_base = data, base
+        self.push_lo, self.push_span = lo, span
+        self.has_pushed = bool(self.push_rules.size)
+
+        if self.grid_mode:
+            if self.pow2:
+                # Alignment was validated in the pre-mutation pass, so
+                # this is a pure column refresh.
+                self._patch_pow2(dirty)
+            else:  # pragma: no cover - grid trees are pow2 by invariant
+                self._finalize_pow2()
+        return True
+
+    @staticmethod
+    def _csr_bases(lens: np.ndarray, part: np.ndarray) -> np.ndarray:
+        """Compile-order base offsets: cumulative row widths over the
+        participating nodes, zero elsewhere (the compiler's convention)."""
+        contrib = np.where(part, lens, 0)
+        off = np.zeros(lens.size, dtype=np.int64)
+        np.cumsum(contrib[:-1], out=off[1:])
+        return np.where(part, off, 0)
+
+    def _patch_table(
+        self, old_data, old_base, old_len, old_part, lens, part,
+        changed: dict[int, np.ndarray], dirty: set[int], n_old: int,
+        bounds=None,
+    ):
+        """Patch one CSR table, preserving the canonical row order.
+
+        Two regimes:
+
+        * every dirty row keeps its length and participation — rows are
+          rewritten **in place** (no reassembly at all);
+        * otherwise the table is re-stitched from at most
+          ``O(len(dirty))`` contiguous segments of the old data plus the
+          recomputed rows, and base offsets are recomputed with the
+          compiler's cumulative-sum convention.
+
+        ``bounds`` — ``(lo_tab, span_tab, arrays)`` — threads the
+        slot-aligned rule-bound tables through the identical segmenting,
+        so they never need a full re-gather.
+        Returns ``(data, base, lo_tab, span_tab)``.
+        """
+        inplace = True
+        for nid in dirty:
+            was = nid < n_old and bool(old_part[nid])
+            now = bool(part[nid])
+            if was != now or (now and int(old_len[nid]) != int(lens[nid])):
+                inplace = False
+                break
+        if bounds is not None:
+            lo_tab, span_tab, arrays = bounds
+        if inplace:
+            for nid in dirty:
+                row = changed[nid]
+                if not part[nid] or not row.size:
+                    continue
+                b = int(old_base[nid])
+                old_data[b : b + row.size] = row
+                if bounds is not None:
+                    lo_tab[:, b : b + row.size] = arrays.lo[:, row]
+                    span_tab[:, b : b + row.size] = (
+                        arrays.hi[:, row] - arrays.lo[:, row]
+                    )
+            if old_base.size < lens.size:
+                # Appended nodes that do not participate here still need
+                # base slots (canonically zero).
+                old_base = np.concatenate([
+                    old_base,
+                    np.zeros(lens.size - old_base.size, dtype=np.int64),
+                ])
+            if bounds is None:
+                return old_data, old_base, None, None
+            return old_data, old_base, lo_tab, span_tab
+
+        base = self._csr_bases(lens, part)
+        old_ids = np.nonzero(old_part)[0]
+        segs: list[np.ndarray] = []
+        lo_segs: list[np.ndarray] = []
+        span_segs: list[np.ndarray] = []
+        cursor = 0
+        for nid in sorted(changed):
+            was = nid < n_old and bool(old_part[nid])
+            if was:
+                start, ln = int(old_base[nid]), int(old_len[nid])
+            else:
+                # Node joins the table: its canonical position is just
+                # before the next old participant with a larger id.
+                j = int(np.searchsorted(old_ids, nid))
+                start = (
+                    int(old_base[old_ids[j]])
+                    if j < old_ids.size else old_data.size
+                )
+                ln = 0
+            segs.append(old_data[cursor:start])
+            if bounds is not None:
+                lo_segs.append(lo_tab[:, cursor:start])
+                span_segs.append(span_tab[:, cursor:start])
+            row = changed[nid]
+            if part[nid] and row.size:
+                segs.append(row)
+                if bounds is not None:
+                    row_lo = arrays.lo[:, row]
+                    lo_segs.append(row_lo)
+                    span_segs.append(arrays.hi[:, row] - row_lo)
+            cursor = start + ln
+        segs.append(old_data[cursor:])
+        data = np.concatenate(segs)
+        if bounds is None:
+            return data, base, None, None
+        lo_segs.append(lo_tab[:, cursor:])
+        span_segs.append(span_tab[:, cursor:])
+        return (
+            data, base,
+            np.concatenate(lo_segs, axis=1),
+            np.concatenate(span_segs, axis=1),
+        )
+
+    def _patch_pow2(self, dirty: set[int]) -> None:
+        """Refresh the mask/shift columns of the dirty nodes (their
+        power-of-two alignment was validated before any mutation)."""
+        ids = np.fromiter(dirty, dtype=np.int64)
+        spans = self.ax_span[:, ids]
+        ncuts = self.ax_ncuts[:, ids]
+        self.ax_mask[:, ids] = spans - 1
+        log2span = np.log2(spans.astype(np.float64)).astype(np.int64)
+        log2cuts = np.log2(ncuts.astype(np.float64)).astype(np.int64)
+        self.ax_shift[:, ids] = np.maximum(log2span - log2cuts, 0)
 
     # ------------------------------------------------------------------
     def batch_lookup(self, trace: PacketTrace) -> BatchLookup:

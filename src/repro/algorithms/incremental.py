@@ -29,7 +29,7 @@ cost of an update batch can be compared with a full rebuild (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -38,6 +38,7 @@ from ..core.geometry import child_index
 from ..core.packet import PacketTrace
 from ..core.rules import Rule
 from ..core.ruleset import RuleSet
+from ..core.updates import OP_INSERT, OP_REMOVE, RuleUpdate, UpdateResult
 from .base import EMPTY_CHILD, LEAF, DecisionTree, Node
 from .hicuts import HiCutsBuilder, HiCutsConfig
 from .hypercuts import HyperCutsBuilder, HyperCutsConfig
@@ -46,12 +47,20 @@ from .opcount import NULL_COUNTER, OpCounter
 
 @dataclass
 class UpdateStats:
-    """What one insert/remove touched."""
+    """What one insert/remove touched.
+
+    ``touched`` holds the node ids whose compiled-kernel rows changed
+    (mutated leaves, cloned/rebased nodes, re-pointed parents, spliced
+    subtrees); the updater hands it to
+    :meth:`~repro.algorithms.base.DecisionTree.mark_dirty` so the flat
+    kernel is *patched* instead of recompiled.
+    """
 
     leaves_touched: int = 0
     nodes_cloned: int = 0
     subtrees_rebuilt: int = 0
     new_leaves: int = 0
+    touched: set[int] = field(default_factory=set)
 
 
 class IncrementalClassifier:
@@ -82,18 +91,38 @@ class IncrementalClassifier:
         self._live = np.ones(len(self._ruleset), dtype=bool)
         self.tree = self._build(self._ruleset)
         self._refcounts = self._count_refs()
+        #: Ruleset version: bumped once per applied update batch.
+        self.update_epoch = 0
 
     # ------------------------------------------------------------------
-    def _build(self, ruleset: RuleSet) -> DecisionTree:
+    def _config(self):
+        """Builder configuration for an *updatable* tree.
+
+        Redundancy elimination is disabled: dropping a rule because an
+        earlier rule shadows it is only sound while the shadowing rule
+        is live, and :meth:`remove` merely strips ids from leaves — a
+        later removal of the shadower would leave the eliminated rule
+        unrecoverable (first found by the update fuzzer: insert a rule
+        twice, rebuild a leaf, remove the first copy — the second copy
+        had been eliminated and silently vanished).  Updatable trees
+        therefore keep every overlapping rule in every leaf.
+        """
         if self.algorithm == "hicuts":
-            cfg = HiCutsConfig(binth=self.binth, spfac=self.spfac,
-                               hw_mode=self.hw_mode)
-            return HiCutsBuilder(ruleset, cfg, self.ops if isinstance(self.ops, OpCounter) else None).build()
+            return HiCutsConfig(binth=self.binth, spfac=self.spfac,
+                                hw_mode=self.hw_mode,
+                                redundancy_elimination=False)
         if self.algorithm == "hypercuts":
-            cfg = HyperCutsConfig(binth=self.binth, spfac=self.spfac,
-                                  hw_mode=self.hw_mode)
-            return HyperCutsBuilder(ruleset, cfg, self.ops if isinstance(self.ops, OpCounter) else None).build()
+            return HyperCutsConfig(binth=self.binth, spfac=self.spfac,
+                                   hw_mode=self.hw_mode,
+                                   redundancy_elimination=False)
         raise BuildError(f"unknown algorithm {self.algorithm!r}")
+
+    def _build(self, ruleset: RuleSet) -> DecisionTree:
+        cfg = self._config()
+        ops = self.ops if isinstance(self.ops, OpCounter) else None
+        if self.algorithm == "hicuts":
+            return HiCutsBuilder(ruleset, cfg, ops).build()
+        return HyperCutsBuilder(ruleset, cfg, ops).build()
 
     def _count_refs(self) -> dict[int, int]:
         refs: dict[int, int] = {0: 1}
@@ -146,14 +175,11 @@ class IncrementalClassifier:
     def insert(self, rule: Rule) -> UpdateStats:
         """Insert a rule at the lowest priority; returns touch stats."""
         rule.validate(self._ruleset.schema)
+        # ``append`` extends the cached SoA view in place, so the new
+        # rule's bounds are visible without an O(n) arrays rebuild.
         self._ruleset.append(rule)
         self._live = np.append(self._live, True)
         rid = len(self._ruleset) - 1
-        self.tree._arrays = None  # defensive: tree reads ruleset.arrays
-        # Invalidate the cached SoA view so new bounds are visible.
-        self.tree.ruleset._arrays = None
-        # The compiled flat kernel snapshots nodes AND rule bounds.
-        self.tree.invalidate_cache()
 
         stats = UpdateStats()
         root = self.tree.nodes[0]
@@ -162,6 +188,8 @@ class IncrementalClassifier:
             true_region=root.region, true_grid=root.grid_region, stats=stats,
         )
         self.ops.add("mem_write", 1)
+        # Patch (not recompile) the compiled kernel rows we touched.
+        self.tree.mark_dirty(stats.touched)
         return stats
 
     def remove(self, rule_id: int) -> UpdateStats:
@@ -169,18 +197,84 @@ class IncrementalClassifier:
         if not 0 <= rule_id < len(self._ruleset) or not self._live[rule_id]:
             raise BuildError(f"rule {rule_id} is not live")
         self._live[rule_id] = False
-        self.tree.invalidate_cache()
+        return self._scrub([rule_id])
+
+    def _scrub(self, rule_ids: list[int]) -> UpdateStats:
+        """One pass deleting the (already tombstoned) ``rule_ids`` from
+        every leaf and pushed list — a k-removal batch costs one node
+        scan, not k."""
         stats = UpdateStats()
-        for node in self.tree.nodes:
+        ids = np.asarray(rule_ids, dtype=np.int64)
+
+        def keep_mask(stored: np.ndarray) -> np.ndarray:
+            if ids.size == 1:
+                return stored != ids[0]
+            return ~np.isin(stored, ids)
+
+        for nid, node in enumerate(self.tree.nodes):
             if node.is_leaf and node.rule_ids.size:
-                mask = node.rule_ids != rule_id
+                mask = keep_mask(node.rule_ids)
                 if not mask.all():
                     node.rule_ids = node.rule_ids[mask]
                     stats.leaves_touched += 1
+                    stats.touched.add(nid)
                     self.ops.add("mem_write", 1)
             elif node.pushed.size:
-                node.pushed = node.pushed[node.pushed != rule_id]
+                pushed = node.pushed[keep_mask(node.pushed)]
+                if pushed.size != node.pushed.size:
+                    node.pushed = pushed
+                    stats.touched.add(nid)
+        self.tree.mark_dirty(stats.touched)
         return stats
+
+    def apply_updates(self, batch) -> UpdateResult:
+        """Apply one control-plane batch of :class:`RuleUpdate` ops.
+
+        Inserts take the next stable id; removals of ids that are not
+        live are *skipped* (counted, not raised) — under churn an update
+        stream may legitimately race its own earlier removals, and the
+        serving path must not die for it.  Consecutive removals coalesce
+        into one tree scrub (inserts flush the pending run first, so
+        interleaving semantics are exactly sequential).  Every batch —
+        including an empty one — advances :attr:`update_epoch` by one,
+        so epochs number ruleset versions deterministically.
+        """
+        inserted = removed = skipped = 0
+        ids: list[int] = []
+        pending: list[int] = []
+
+        def flush() -> None:
+            if pending:
+                self._scrub(pending)
+                pending.clear()
+
+        for op in batch:
+            if not isinstance(op, RuleUpdate):
+                raise BuildError(f"not a RuleUpdate: {op!r}")
+            if op.op == OP_INSERT:
+                flush()
+                self.insert(op.rule)
+                ids.append(len(self._ruleset) - 1)
+                inserted += 1
+            elif op.op == OP_REMOVE:
+                rid = op.rule_id
+                if 0 <= rid < len(self._ruleset) and self._live[rid]:
+                    # Tombstone now so a duplicate removal later in this
+                    # run is counted as skipped, exactly as sequential
+                    # application would.
+                    self._live[rid] = False
+                    pending.append(rid)
+                    removed += 1
+                else:
+                    skipped += 1
+            else:  # pragma: no cover - RuleUpdate validates op
+                raise BuildError(f"unknown update op {op.op!r}")
+        flush()
+        self.update_epoch += 1
+        return UpdateResult(
+            epoch=self.update_epoch, inserted=inserted, removed=removed,
+            skipped=skipped, inserted_ids=tuple(ids),
+        )
 
     def rebuild(self) -> None:
         """Compact tombstones and rebuild the tree from scratch."""
@@ -247,9 +341,16 @@ class IncrementalClassifier:
             nid, cloned = self._clone_if_shared(nid, parent, slot)
             node = self.tree.nodes[nid]
             stats.nodes_cloned += 1
+            if cloned:
+                # The clone's rows must be created and the parent's
+                # children row now points at it.
+                stats.touched.add(nid)
+                if parent is not None:
+                    stats.touched.add(parent)
         if needs_rebase:
             node.region = true_region
             node.grid_region = true_grid
+            stats.touched.add(nid)  # region feeds the axis tables
         self.ops.add("mem_read", 1)
 
         if node.is_leaf:
@@ -258,6 +359,7 @@ class IncrementalClassifier:
             # possibly-hulled leaf region is not worth the subtlety here.
             node.rule_ids = np.append(node.rule_ids, rid)
             stats.leaves_touched += 1
+            stats.touched.add(nid)
             if node.rule_ids.size > self.binth:
                 self._rebuild_subtree(nid, stats)
             return
@@ -309,6 +411,8 @@ class IncrementalClassifier:
             node.children[flat] = new_id
             self._refcounts[new_id] = 1
             stats.new_leaves += 1
+            stats.touched.add(new_id)
+            stats.touched.add(nid)  # children row gained the new leaf
             self.ops.add("alloc", 1)
             return
         self._insert_into(
@@ -346,13 +450,10 @@ class IncrementalClassifier:
         node = self.tree.nodes[nid]
         sub_rules = node.rule_ids
         sub_ruleset = self.tree.ruleset  # rule ids are global
+        cfg = self._config()  # removal-safe: no redundancy elimination
         if self.algorithm == "hicuts":
-            cfg = HiCutsConfig(binth=self.binth, spfac=self.spfac,
-                               hw_mode=self.hw_mode)
             builder = HiCutsBuilder(sub_ruleset, cfg)
         else:
-            cfg = HyperCutsConfig(binth=self.binth, spfac=self.spfac,
-                                  hw_mode=self.hw_mode)
             builder = HyperCutsBuilder(sub_ruleset, cfg)
         # Build with the leaf's region as the root universe.
         from ._builder import _WorkItem
@@ -389,4 +490,6 @@ class IncrementalClassifier:
         # Refresh refcounts for the spliced region.
         self._refcounts = self._count_refs()
         stats.subtrees_rebuilt += 1
+        stats.touched.add(nid)
+        stats.touched.update(range(offset, offset + len(builder.nodes) - 1))
         self.ops.add("alloc", len(builder.nodes))

@@ -23,18 +23,24 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .algorithms import build_hicuts, build_hypercuts
-from .classbench import generate_ruleset, generate_trace, generate_zipf_trace
-from .core.errors import ReproError
+from .algorithms import OpCounter, build_hicuts, build_hypercuts
+from .classbench import (
+    generate_ruleset,
+    generate_trace,
+    generate_update_stream,
+    generate_zipf_trace,
+)
+from .core.errors import ConfigError, ReproError
 from .core.packet import PacketTrace
 from .core.ruleset import RuleSet
-from .energy import CacheEnergyModel, asic_model, fpga_model
+from .energy import CacheEnergyModel, UpdateCostModel, asic_model, fpga_model, ops_delta
 from .engine import (
     CachedClassifier,
     ClassificationPipeline,
     available_backends,
     backend_spec,
     build_backend,
+    build_updatable_backend,
 )
 from .engine.registry import registered_aliases
 from .hw import build_memory_image, figure5_trace
@@ -74,12 +80,31 @@ def _engine_classifier(ruleset: RuleSet, args):
 
     Decision-tree names map onto the hardware accelerator unless
     ``--software`` asks for the original software traversal, mirroring
-    the historical ``classify`` behaviour.
+    the historical ``classify`` behaviour.  With ``--updates`` the
+    backend is built through the update-serving surface instead: tree
+    names route to the incremental backend (the paper's control-plane
+    path), everything else serves updates by rebuild adaptation.
     """
     name = args.algorithm
     spec = backend_spec(name)
     software = getattr(args, "software", False)
-    if spec.builds_tree and not software:
+    if getattr(args, "updates", 0):
+        build_ops = OpCounter()
+        if spec.builds_tree or spec.name == "incremental":
+            clf = build_updatable_backend(
+                "incremental", ruleset,
+                algorithm=spec.name if spec.builds_tree else "hicuts",
+                binth=args.binth, spfac=args.spfac,
+                hw_mode=not software, ops=build_ops,
+            )
+        else:
+            clf = build_updatable_backend(
+                spec.name, ruleset,
+                binth=args.binth, spfac=args.spfac, speed=args.speed,
+                hw_mode=not software,
+            )
+        clf.build_ops_snapshot = build_ops.copy()
+    elif spec.builds_tree and not software:
         clf = build_backend(
             "accelerator", ruleset, algorithm=spec.name,
             binth=args.binth, spfac=args.spfac, speed=args.speed,
@@ -187,6 +212,51 @@ def cmd_classify(args) -> int:
     return 0
 
 
+def _parse_update_mix(mix: str) -> float:
+    """``"70:30"`` -> insert fraction 0.7 (inserts : removes)."""
+    try:
+        ins, rem = (float(part) for part in mix.split(":"))
+    except ValueError:
+        raise ConfigError(
+            f"bad --update-mix {mix!r}; expected INSERT:REMOVE, e.g. 70:30"
+        ) from None
+    if ins < 0 or rem < 0 or ins + rem <= 0:
+        raise ConfigError(f"bad --update-mix {mix!r}; weights must be >= 0")
+    return ins / (ins + rem)
+
+
+def _print_update_report(clf, res) -> None:
+    """Epoch trajectory, patch-vs-recompile counters, and the update
+    energy model (control-plane ops vs a from-scratch rebuild)."""
+    print(f"updates: {res.update_batches} batches / {res.update_ops} ops "
+          f"({res.update_skipped} skipped), epochs "
+          f"{res.chunks[0].epoch}..{res.final_epoch}")
+    inner = getattr(clf, "classifier", clf)
+    tree = getattr(inner, "tree", None)
+    if tree is not None and hasattr(tree, "flat_patches"):
+        tree.flat  # flush any pending control-plane patch
+        print(f"flat kernel (this process): {tree.flat_patches} row-splice "
+              f"patches, {tree.flat_compiles} full compiles")
+    snapshot = getattr(clf, "build_ops_snapshot", None) or getattr(
+        inner, "build_ops_snapshot", None
+    )
+    ops = getattr(inner, "ops", None)
+    if snapshot is None or not hasattr(ops, "counts"):
+        return
+    delta = ops_delta(ops, snapshot)
+    if delta.total() <= 0 or res.update_ops == 0:
+        return
+    model = UpdateCostModel()
+    # Average the *energy* over batches, not the op counts — integer
+    # counters would floor low-frequency categories to zero.
+    update_j = model.update_energy_j(delta) / max(1, res.update_batches)
+    rebuild_j = model.rebuild_energy_j(snapshot)
+    break_even = rebuild_j / update_j if update_j > 0 else float("inf")
+    print(f"update energy model: {update_j:.3E} J/batch control-plane vs "
+          f"{rebuild_j:.3E} J full rebuild "
+          f"({break_even:,.0f} batches to break even)")
+
+
 def cmd_bench(args) -> int:
     rs = _load_or_generate(args)
     trace = _load_or_generate_trace(args, rs)
@@ -197,12 +267,22 @@ def cmd_bench(args) -> int:
             "pool; running single-process",
             file=sys.stderr,
         )
+    schedule = None
+    if args.updates:
+        schedule = generate_update_stream(
+            rs, args.updates, trace.n_packets,
+            insert_fraction=_parse_update_mix(args.update_mix),
+            batch_size=args.update_batch, seed=args.seed + 2,
+        )
     pipeline = ClassificationPipeline(
         clf, chunk_size=args.chunk_size, shards=args.shards,
         persistent=args.persistent,
     )
     try:
-        res = pipeline.run(trace)
+        # The update stream rides along the first run; repeats then
+        # serve the updated ruleset (steady state after the churn).
+        res = pipeline.run(trace, updates=schedule)
+        first_run = res
         for i in range(1, args.repeats):
             rerun = pipeline.run(trace)
             print(f"run {i + 1}/{args.repeats}: "
@@ -222,6 +302,8 @@ def cmd_bench(args) -> int:
           f"({100 * res.matched_fraction:.1f}%)")
     print(f"pipeline throughput: {res.throughput_pps():,.0f} packets/s "
           f"(wall clock {res.elapsed_s * 1e3:.1f} ms)")
+    if schedule is not None:
+        _print_update_report(clf, first_run)
     if res.cache_hits is not None and isinstance(clf, CachedClassifier):
         _print_cache_report(
             clf, res.cache_hits, res.cache_misses, res.cache_evictions
@@ -329,6 +411,14 @@ def main(argv: list[str] | None = None) -> int:
     n.add_argument("--repeats", type=int, default=1,
                    help="run the trace N times (shows the persistent "
                         "pool's fork-amortisation win)")
+    n.add_argument("--updates", type=int, default=0, metavar="N",
+                   help="interleave N live rule updates with the first "
+                        "run (tree algorithms serve them through the "
+                        "incremental backend)")
+    n.add_argument("--update-mix", default="50:50", metavar="INS:REM",
+                   help="insert:remove weighting of the update stream")
+    n.add_argument("--update-batch", type=int, default=8, metavar="OPS",
+                   help="operations per scheduled update batch")
     _add_cache_args(n)
     n.set_defaults(fn=cmd_bench)
 

@@ -228,6 +228,35 @@ class RuleArrays:
         # (uint32 wraparound turns ``v < lo`` into a huge value).
         self.span = self.hi - self.lo
 
+    def append_rule(self, rule: Rule) -> None:
+        """Extend the view with one more rule (incremental inserts).
+
+        One bulk ``np.concatenate`` per buffer — no per-rule Python pass
+        over the existing rules, which is what keeps a single control-
+        plane insert O(copy) instead of O(n_rules) rebuild work.  The
+        result is bit-identical to constructing :class:`RuleArrays` from
+        the extended rule list.
+        """
+        nd = self.schema.ndim
+        col = np.empty((nd, 1), dtype=np.uint32)
+        gcol_lo = np.empty((nd, 1), dtype=np.uint32)
+        gcol_hi = np.empty((nd, 1), dtype=np.uint32)
+        col_hi = np.empty((nd, 1), dtype=np.uint32)
+        for d, (lo, hi) in enumerate(rule.ranges):
+            col[d, 0] = lo
+            col_hi[d, 0] = hi
+            g0, g1 = grid_span(lo, hi, self.schema.widths[d])
+            gcol_lo[d, 0] = g0
+            gcol_hi[d, 0] = g1
+        self.lo = np.concatenate([self.lo, col], axis=1)
+        self.hi = np.concatenate([self.hi, col_hi], axis=1)
+        self.glo = np.concatenate([self.glo, gcol_lo], axis=1)
+        self.ghi = np.concatenate([self.ghi, gcol_hi], axis=1)
+        self.span = self.hi - self.lo
+        self.priority = np.append(self.priority, np.int64(rule.priority))
+        self.action = np.append(self.action, np.int64(rule.action))
+        self.n += 1
+
     def match_mask(self, header: Sequence[int]) -> np.ndarray:
         """Boolean mask of rules matching ``header`` (vectorised)."""
         mask = np.ones(self.n, dtype=bool)

@@ -111,10 +111,15 @@ class RuleSet:
     # ------------------------------------------------------------------
     def append(self, rule: Rule) -> None:
         rule.validate(self.schema)
-        self.rules.append(
-            Rule(ranges=rule.ranges, priority=len(self.rules), action=rule.action)
+        appended = Rule(
+            ranges=rule.ranges, priority=len(self.rules), action=rule.action
         )
-        self._arrays = None
+        self.rules.append(appended)
+        # Extend the cached SoA view in place instead of dropping it: an
+        # insert on a large serving ruleset then costs one buffer copy,
+        # not a full per-rule rebuild (the update-serving hot path).
+        if self._arrays is not None:
+            self._arrays.append_rule(appended)
 
     def remove(self, index: int) -> Rule:
         removed = self.rules.pop(index)

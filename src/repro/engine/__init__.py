@@ -41,8 +41,28 @@ from .registry import (
     register_backend,
     registered_aliases,
 )
+from .updates import (
+    RebuildUpdatable,
+    RuleUpdate,
+    ScheduledUpdate,
+    UpdatableClassifier,
+    UpdateResult,
+    build_updatable_backend,
+    insert_op,
+    is_updatable,
+    remove_op,
+)
 
 __all__ = [
+    "RebuildUpdatable",
+    "RuleUpdate",
+    "ScheduledUpdate",
+    "UpdatableClassifier",
+    "UpdateResult",
+    "build_updatable_backend",
+    "insert_op",
+    "is_updatable",
+    "remove_op",
     "AcceleratorClassifier",
     "DecisionTreeClassifier",
     "HIT_OCCUPANCY_CYCLES",

@@ -110,10 +110,16 @@ class FlowCache:
         self.n_sets = self.entries // self.ways if entries else 0
         self.stats = FlowCacheStats()
         self._tick = np.int64(1)
+        #: Current ruleset epoch.  Entries are tagged with the epoch they
+        #: were filled under and only served while it is current, so a
+        #: rule update invalidates the whole cache in O(1) — one counter
+        #: bump (:meth:`advance_epoch`) instead of an O(entries) flush.
+        self.epoch = np.int64(0)
         self._keys: np.ndarray | None = None  # (sets, ways, ndim) uint32
         self._valid: np.ndarray | None = None  # (sets, ways) bool
         self._result: np.ndarray | None = None  # (sets, ways) int64
         self._stamp: np.ndarray | None = None  # (sets, ways) int64 last use
+        self._epoch: np.ndarray | None = None  # (sets, ways) int64 fill tag
 
     # ------------------------------------------------------------------
     @property
@@ -126,6 +132,11 @@ class FlowCache:
             self._valid = np.zeros((self.n_sets, self.ways), bool)
             self._result = np.full((self.n_sets, self.ways), -1, np.int64)
             self._stamp = np.zeros((self.n_sets, self.ways), np.int64)
+            self._epoch = np.full((self.n_sets, self.ways), -1, np.int64)
+
+    def _live(self, sets: np.ndarray) -> np.ndarray:
+        """Valid entries whose fill epoch is still current."""
+        return self._valid[sets] & (self._epoch[sets] == self.epoch)
 
     def _set_index(self, headers: np.ndarray) -> np.ndarray:
         """FNV-1a over the header columns, folded modulo the set count."""
@@ -151,7 +162,7 @@ class FlowCache:
         self._ensure_tables(headers.shape[1])
         s = self._set_index(headers)
         cand = self._keys[s]  # (n, ways, ndim) gather
-        eq = (cand == headers[:, None, :]).all(axis=2) & self._valid[s]
+        eq = (cand == headers[:, None, :]).all(axis=2) & self._live(s)
         hit = eq.any(axis=1)
         way = np.argmax(eq, axis=1)
         result = np.where(hit, self._result[s, way], np.int64(-1))
@@ -175,8 +186,9 @@ class FlowCache:
         s = self._set_index(headers)
         touched, inv = np.unique(s, return_inverse=True)
         inv = inv.reshape(-1)
-        # Ways of each touched set ordered oldest-first, invalid first.
-        age = np.where(self._valid[touched], self._stamp[touched], np.int64(-1))
+        # Ways of each touched set ordered oldest-first; invalid ways and
+        # stale-epoch leftovers are preferred victims.
+        age = np.where(self._live(touched), self._stamp[touched], np.int64(-1))
         order = np.argsort(age, axis=1, kind="stable")
         # Occurrence rank of each insert within its set.
         by_set = np.argsort(inv, kind="stable")
@@ -185,32 +197,48 @@ class FlowCache:
         rank = np.empty(n, np.int64)
         rank[by_set] = np.arange(n) - np.repeat(starts, counts)
         way = order[inv, rank % self.ways]
-        self.stats.evictions += int(self._valid[s, way].sum())
+        # Overwriting a stale-epoch slot is reclamation, not eviction.
+        self.stats.evictions += int(self._live(s)[np.arange(n), way].sum())
         self._keys[s, way] = headers
         self._valid[s, way] = True
         self._result[s, way] = results
         self._stamp[s, way] = self._tick  # fresher than this batch's hits
+        self._epoch[s, way] = self.epoch
         self._tick += np.int64(1)
 
     def invalidate(self) -> None:
-        """Drop every entry (rule-update hook); counters are kept."""
+        """Eagerly drop every entry; counters are kept.
+
+        :meth:`advance_epoch` is the O(1) serving-path variant — use
+        this one only when the eager flush itself is the point (tests,
+        memory scrubbing).
+        """
         if self._valid is not None:
             self._valid[:] = False
             self._result[:] = -1
         self.stats.invalidations += 1
 
+    def advance_epoch(self) -> None:
+        """O(1) whole-cache invalidation (the rule-update hook).
+
+        Entries filled under earlier epochs stop matching immediately;
+        their slots are reclaimed lazily as new fills land.
+        """
+        self.epoch += np.int64(1)
+        self.stats.invalidations += 1
+
     # ------------------------------------------------------------------
     def occupancy_fraction(self) -> float:
-        """Fraction of cache slots currently holding a live entry."""
+        """Fraction of cache slots holding a live, current-epoch entry."""
         if self._valid is None or not self.entries:
             return 0.0
-        return float(self._valid.mean())
+        return float((self._valid & (self._epoch == self.epoch)).mean())
 
     def memory_bytes(self, ndim: int = 5) -> int:
-        """Modelled table footprint: key + result + stamp + valid bits."""
+        """Modelled footprint: key + result + stamp + epoch + valid."""
         if self._keys is not None:
             ndim = self._keys.shape[2]
-        return self.entries * (4 * ndim + 8 + 8 + 1)
+        return self.entries * (4 * ndim + 8 + 8 + 8 + 1)
 
 
 class CachedClassifier(ClassifierBase):
@@ -302,26 +330,54 @@ class CachedClassifier(ClassifierBase):
         return probe + self.classifier.memory_accesses_per_lookup()
 
     # -- rule-update hooks (incremental backends) ----------------------
+    #: This wrapper only *delegates* updates: ``is_updatable`` recurses
+    #: into the wrapped classifier instead of trusting the method below.
+    _delegates_updates = True
+
+    @property
+    def update_epoch(self) -> int:
+        """The wrapped classifier's ruleset version (0 if not updatable)."""
+        return getattr(self.classifier, "update_epoch", 0)
+
+    def apply_updates(self, batch):
+        """Delegate the batch, then epoch-invalidate the cache in O(1).
+
+        Entries filled under earlier epochs stop matching the moment the
+        cache's epoch advances — no O(entries) flush on the serving
+        path; stale slots are reclaimed lazily by later fills.
+        """
+        inner = getattr(self.classifier, "apply_updates", None)
+        if not callable(inner):
+            raise ConfigError(
+                f"wrapped backend "
+                f"{getattr(self.classifier, 'backend_name', '?')!r} does "
+                "not serve rule updates; wrap an updatable classifier "
+                "(see repro.engine.updates.build_updatable_backend)"
+            )
+        out = inner(batch)
+        self.cache.advance_epoch()
+        return out
+
     def invalidate_cache(self) -> None:
-        """Flush the cache after an out-of-band ruleset mutation."""
-        self.cache.invalidate()
+        """Invalidate after an out-of-band ruleset mutation (O(1))."""
+        self.cache.advance_epoch()
 
     def insert(self, rule):
-        """Delegate to the wrapped classifier, then flush the cache."""
+        """Delegate to the wrapped classifier, then epoch-invalidate."""
         out = self.classifier.insert(rule)
-        self.cache.invalidate()
+        self.cache.advance_epoch()
         return out
 
     def remove(self, rule_id: int):
-        """Delegate to the wrapped classifier, then flush the cache."""
+        """Delegate to the wrapped classifier, then epoch-invalidate."""
         out = self.classifier.remove(rule_id)
-        self.cache.invalidate()
+        self.cache.advance_epoch()
         return out
 
     def rebuild(self) -> None:
-        """Delegate to the wrapped classifier, then flush the cache."""
+        """Delegate to the wrapped classifier, then epoch-invalidate."""
         self.classifier.rebuild()
-        self.cache.invalidate()
+        self.cache.advance_epoch()
 
 
 def build_cached_backend(

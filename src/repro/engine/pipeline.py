@@ -31,29 +31,61 @@ Two fork modes exist:
   match/occupancy slice straight into shared output buffers — the only
   pickled traffic is per-chunk scalars, i.e. a zero-copy result path.
   Results are bit-identical to the other modes at every shard count.
+
+**Live rule updates.**  ``run(trace, updates=[...])`` interleaves a
+:class:`~repro.core.updates.ScheduledUpdate` stream with classification:
+each batch takes effect at the first chunk boundary at or after its
+``at_packet`` offset, so every packet is classified against exactly one
+ruleset version (its chunk's epoch — recorded on
+:class:`ChunkStats.epoch`).  In the forked modes every worker applies
+the same batches in the same deterministic order before touching a
+chunk from a later epoch (each task carries the update prefix it
+requires; a per-process watermark makes re-application a no-op), and
+the parent catches its own copy up after the run, so transient pools,
+persistent pools and the single-process fallback all produce identical
+matches — the differential update-conformance suite replays all of them
+against a per-epoch linear-search oracle.
 """
 
 from __future__ import annotations
 
 import os
 import time
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.errors import ConfigError
 from ..core.packet import PacketTrace
+from ..core.updates import RuleUpdate, ScheduledUpdate
 from .protocol import BatchStats, Classifier, batch_stats_of, warm_batch_state
 
 #: Default packets per chunk: large enough to amortise NumPy dispatch,
 #: small enough that per-chunk stats stay meaningful for live reporting.
 DEFAULT_CHUNK_SIZE = 4096
 
+#: Persistent-pool update-log watermark: once this many batches have
+#: accumulated for one pool's lifetime, the pool is re-forked (from the
+#: caught-up parent) instead of shipping an ever-growing prefix with
+#: every chunk task.
+POOL_LOG_MAX_BATCHES = 64
+
 #: Module global holding (classifier, headers) across a ``fork`` so
 #: worker shards inherit them copy-on-write instead of via pickling.
 #: ``headers`` is ``None`` for persistent pools (the trace then arrives
 #: through shared memory instead).
 _SHARD_STATE: tuple[Classifier, np.ndarray | None] | None = None
+
+#: Per-process watermark of the last applied update-batch sequence
+#: number.  Set in the parent immediately before forking a pool so the
+#: children inherit it, then advanced worker-locally as shipped batches
+#: are applied — a batch is applied at most once per process, and always
+#: in sequence order.
+_WORKER_SEQ = 0
+
+#: One update batch as shipped to workers: (sequence number, ops).
+PendingUpdate = tuple[int, tuple[RuleUpdate, ...]]
 
 #: One processed chunk: (match, occupancy | None,
 #: (hits, misses, evictions) | None).  The cache triple is present only
@@ -64,9 +96,36 @@ ChunkOutput = tuple[
 ]
 
 
-def _run_chunk(bounds: tuple[int, int]) -> ChunkOutput:
+@dataclass(frozen=True)
+class _ScheduledEntry:
+    """A normalised update batch: global sequence number plus the index
+    of the first chunk that must observe it."""
+
+    seq: int
+    effect_chunk: int
+    batch: tuple[RuleUpdate, ...]
+
+
+def _apply_pending(
+    classifier: Classifier, pending: tuple[PendingUpdate, ...]
+) -> None:
+    """Catch this process's classifier copy up to the newest shipped
+    batch.  Sequence numbers are globally ordered and tasks reach each
+    worker in increasing chunk order, so the watermark guarantees every
+    process applies every batch exactly once, in order."""
+    global _WORKER_SEQ
+    for seq, batch in pending:
+        if seq > _WORKER_SEQ:
+            classifier.apply_updates(batch)
+            _WORKER_SEQ = seq
+
+
+def _run_chunk(task) -> ChunkOutput:
+    bounds, pending = task
     assert _SHARD_STATE is not None
     classifier, headers = _SHARD_STATE
+    if pending:
+        _apply_pending(classifier, pending)
     return _run_chunk_local(classifier, headers, bounds)
 
 
@@ -88,9 +147,11 @@ def _run_chunk_shm(task) -> tuple[bool, tuple[int, int, int] | None]:
     """
     from multiprocessing import shared_memory
 
-    in_name, shape, dtype, out_name, occ_name, bounds = task
+    in_name, shape, dtype, out_name, occ_name, bounds, pending = task
     assert _SHARD_STATE is not None
     classifier = _SHARD_STATE[0]
+    if pending:
+        _apply_pending(classifier, pending)
     n = shape[0]
     start, end = bounds
     segments = []
@@ -128,7 +189,10 @@ class ChunkStats:
 
     ``cache_hits``/``cache_misses``/``cache_evictions`` are filled when
     the classifier is a flow-cached front-end; ``None`` on bare
-    backends.
+    backends.  ``epoch`` is the ruleset version every packet of this
+    chunk was classified against (``None`` when the backend is not
+    updatable); ``updates_applied`` counts the update *operations* that
+    took effect immediately before this chunk.
     """
 
     index: int
@@ -139,6 +203,8 @@ class ChunkStats:
     cache_hits: int | None = None
     cache_misses: int | None = None
     cache_evictions: int | None = None
+    epoch: int | None = None
+    updates_applied: int = 0
 
     @property
     def matched_fraction(self) -> float:
@@ -168,6 +234,14 @@ class PipelineResult:
     cache_hits: int | None = None
     cache_misses: int | None = None
     cache_evictions: int | None = None
+    #: Live-update totals for the run: batches and operations applied,
+    #: operations skipped (removals of already-dead ids), and the
+    #: classifier's epoch after the run (``None`` when no update stream
+    #: was served / the backend is not updatable).
+    update_batches: int = 0
+    update_ops: int = 0
+    update_skipped: int = 0
+    final_epoch: int | None = None
 
     @property
     def n_packets(self) -> int:
@@ -228,12 +302,17 @@ class ClassificationPipeline:
     :meth:`close` — or the pipeline as a context manager — to tear the
     pool down deterministically.
 
-    The persistent workers hold the *copy-on-write snapshot of the
-    classifier taken when the pool forked*: mutating the classifier
-    afterwards (e.g. ``IncrementalClassifier.insert``) does not reach
-    them.  Call :meth:`close` after a mutation — the next ``run()``
-    forks a fresh pool from the updated classifier.  (Transient mode
-    re-forks per run and needs no such step.)
+    Rule updates belong *inside* ``run(trace, updates=...)``: the update
+    stream is applied with deterministic epoch semantics in every pool
+    mode, including persistent pools (each task ships the update prefix
+    its chunk requires, and the long-lived workers catch up exactly
+    once per batch).  The one remaining caveat is **out-of-band**
+    mutation: the persistent workers hold the copy-on-write snapshot of
+    the classifier taken when the pool forked, so mutating the
+    classifier directly (e.g. ``IncrementalClassifier.insert`` between
+    runs) does not reach them — call :meth:`close` after such a
+    mutation and the next ``run()`` forks a fresh pool.  (Transient
+    mode re-forks per run and needs no such step.)
     """
 
     def __init__(
@@ -254,6 +333,15 @@ class ClassificationPipeline:
         self.persistent = persistent
         self._pool = None
         self._pool_size = 0
+        #: Monotonic allocator for update-batch sequence numbers and the
+        #: parent process's applied-batch watermark.
+        self._update_seq = 0
+        self._applied_seq = 0
+        #: Batches applied while the current persistent pool has been
+        #: alive.  Shipped (cheaply — workers skip applied seqs) with
+        #: every later task so a worker that never saw an earlier run's
+        #: chunks still applies its updates before any newer ones.
+        self._pool_log: list[PendingUpdate] = []
 
     # -- persistent-pool lifecycle --------------------------------------
     def close(self) -> None:
@@ -263,6 +351,7 @@ class ClassificationPipeline:
             self._pool.join()
             self._pool = None
             self._pool_size = 0
+        self._pool_log.clear()
 
     def __enter__(self) -> "ClassificationPipeline":
         return self
@@ -281,7 +370,7 @@ class ClassificationPipeline:
         if self._pool is None:
             import multiprocessing
 
-            global _SHARD_STATE
+            global _SHARD_STATE, _WORKER_SEQ
             ctx = multiprocessing.get_context("fork")
             try:
                 # Start the resource tracker *before* forking: the
@@ -298,6 +387,10 @@ class ClassificationPipeline:
             warm_batch_state(self.classifier, ndim)
             self._pool_size = min(self.shards, os.cpu_count() or 1)
             _SHARD_STATE = (self.classifier, None)
+            # Children inherit the parent's applied-update watermark:
+            # every batch the forked snapshot already contains is
+            # filtered out of the shipped prefixes.
+            _WORKER_SEQ = self._applied_seq
             try:
                 self._pool = ctx.Pool(processes=self._pool_size)
             finally:
@@ -322,45 +415,165 @@ class ClassificationPipeline:
         except ImportError:  # pragma: no cover - multiprocessing is stdlib
             return False
 
-    def run(self, trace: PacketTrace) -> PipelineResult:
-        """Classify ``trace``; results are in trace order regardless of
-        shard scheduling."""
+    # -- update-stream plumbing -----------------------------------------
+    def _normalise_updates(
+        self, updates, bounds: list[tuple[int, int]]
+    ) -> list[_ScheduledEntry]:
+        """Sort, sequence-number and chunk-align an update stream.
+
+        A batch scheduled at packet offset ``p`` takes effect at the
+        first chunk whose start is >= ``p`` (batches beyond the last
+        chunk start apply after the trace).  Equal offsets keep their
+        given order, so the schedule is fully deterministic.
+        """
+        if not updates:
+            return []
+        from .updates import is_updatable
+
+        if not is_updatable(self.classifier):
+            raise ConfigError(
+                f"backend {getattr(self.classifier, 'backend_name', '?')!r} "
+                "does not serve rule updates; build it through "
+                "repro.engine.updates.build_updatable_backend"
+            )
+        items: list[tuple[int, tuple[RuleUpdate, ...]]] = []
+        for upd in updates:
+            if isinstance(upd, ScheduledUpdate):
+                items.append((upd.at_packet, tuple(upd.batch)))
+            else:
+                at, batch = upd
+                items.append((int(at), tuple(batch)))
+        items.sort(key=lambda item: item[0])  # stable
+        starts = [b[0] for b in bounds]
+        entries = []
+        for at, batch in items:
+            self._update_seq += 1
+            entries.append(_ScheduledEntry(
+                seq=self._update_seq,
+                effect_chunk=bisect_left(starts, at),
+                batch=batch,
+            ))
+        return entries
+
+    def _parent_apply(self, entries: list[_ScheduledEntry]) -> list:
+        """Apply ``entries`` to this process's classifier (watermarked,
+        so batches a fallback chunk loop already applied are skipped)."""
+        results = []
+        for entry in entries:
+            if entry.seq > self._applied_seq:
+                results.append(self.classifier.apply_updates(entry.batch))
+                self._applied_seq = entry.seq
+        return results
+
+    def _chunk_prefixes(
+        self, bounds: list[tuple[int, int]], entries: list[_ScheduledEntry]
+    ) -> list[tuple[PendingUpdate, ...]]:
+        """Per-chunk update prefix a worker must have applied: the
+        current pool's historical batches plus this run's batches up to
+        the chunk's epoch."""
+        acc: list[PendingUpdate] = list(self._pool_log)
+        prefixes = []
+        idx = 0
+        for i in range(len(bounds)):
+            while idx < len(entries) and entries[idx].effect_chunk <= i:
+                acc.append((entries[idx].seq, entries[idx].batch))
+                idx += 1
+            prefixes.append(tuple(acc))
+        return prefixes
+
+    # ------------------------------------------------------------------
+    def run(self, trace: PacketTrace, updates=None) -> PipelineResult:
+        """Classify ``trace``, optionally interleaving a rule-update
+        stream; results are in trace order regardless of shard
+        scheduling, and every chunk is classified against one
+        well-defined ruleset epoch."""
+        from .updates import is_updatable
+
         headers = trace.headers
         n = headers.shape[0]
         bounds = self._chunk_bounds(n)
+        entries = self._normalise_updates(updates, bounds)
+        # Epochs are reported only for genuinely updatable backends —
+        # a cache wrapper around a non-updatable classifier merely
+        # *delegates* and must keep reporting None.
+        base_epoch = (
+            int(getattr(self.classifier, "update_epoch", 0))
+            if is_updatable(self.classifier) else None
+        )
+        update_results = []
         started = time.perf_counter()
         if self.shards > 1 and len(bounds) > 1 and self._fork_available():
             if self.persistent:
-                outputs, workers = self._run_persistent(headers, bounds)
+                outputs, workers = self._run_persistent(
+                    headers, bounds, entries
+                )
             else:
-                outputs, workers = self._run_forked(headers, bounds)
+                outputs, workers = self._run_forked(headers, bounds, entries)
+            # The parent's copy catches up after the run (its state then
+            # matches the workers', and later forks inherit it).
+            update_results = self._parent_apply(entries)
         else:
-            outputs = [_run_chunk_local(self.classifier, headers, b) for b in bounds]
+            outputs = []
+            idx = 0
+            for i, b in enumerate(bounds):
+                while idx < len(entries) and entries[idx].effect_chunk <= i:
+                    update_results.append(
+                        self.classifier.apply_updates(entries[idx].batch)
+                    )
+                    self._applied_seq = entries[idx].seq
+                    idx += 1
+                outputs.append(_run_chunk_local(self.classifier, headers, b))
+            # Batches scheduled past the last chunk apply after the trace.
+            update_results.extend(self._parent_apply(entries))
             workers = 1
+        if entries and self._pool is not None:
+            # Keep the long-lived workers replayable: later runs ship
+            # these batches too (applied-at-most-once via the watermark).
+            self._pool_log.extend((e.seq, e.batch) for e in entries)
+            if len(self._pool_log) > POOL_LOG_MAX_BATCHES:
+                # Bound the per-task prefix (and parent memory): the
+                # parent is fully caught up after every run, so tearing
+                # the pool down here is safe — the next run re-forks
+                # from the current state with an empty log.
+                self.close()
         elapsed = time.perf_counter() - started
-        return self._aggregate(outputs, bounds, n, elapsed, workers)
+        return self._aggregate(
+            outputs, bounds, n, elapsed, workers,
+            entries=entries, base_epoch=base_epoch,
+            update_results=update_results,
+        )
 
     def _run_forked(
-        self, headers: np.ndarray, bounds: list[tuple[int, int]]
+        self,
+        headers: np.ndarray,
+        bounds: list[tuple[int, int]],
+        entries: list[_ScheduledEntry] | None = None,
     ) -> tuple[list[ChunkOutput], int]:
         import multiprocessing
 
-        global _SHARD_STATE
+        global _SHARD_STATE, _WORKER_SEQ
         ctx = multiprocessing.get_context("fork")
         workers = min(self.shards, len(bounds), os.cpu_count() or 1)
         # Warm any lazily-built batch structures (e.g. the tuple-space
         # probe tables) in the parent so the forked children inherit
         # them copy-on-write instead of each rebuilding them.
         warm_batch_state(self.classifier, headers.shape[1])
+        prefixes = self._chunk_prefixes(bounds, entries or [])
         _SHARD_STATE = (self.classifier, headers)
+        _WORKER_SEQ = self._applied_seq
         try:
             with ctx.Pool(processes=workers) as pool:
-                return pool.map(_run_chunk, bounds), workers
+                return pool.map(
+                    _run_chunk, list(zip(bounds, prefixes))
+                ), workers
         finally:
             _SHARD_STATE = None
 
     def _run_persistent(
-        self, headers: np.ndarray, bounds: list[tuple[int, int]]
+        self,
+        headers: np.ndarray,
+        bounds: list[tuple[int, int]],
+        entries: list[_ScheduledEntry] | None = None,
     ) -> tuple[list[ChunkOutput], int]:
         """One run over the long-lived pool with shared-memory transport.
 
@@ -373,6 +586,7 @@ class ClassificationPipeline:
         from multiprocessing import shared_memory
 
         pool = self._ensure_pool(headers.shape[1])
+        prefixes = self._chunk_prefixes(bounds, entries or [])
         n = headers.shape[0]
         segments = []
 
@@ -391,9 +605,9 @@ class ClassificationPipeline:
             tasks = [
                 (
                     shm_in.name, headers.shape, str(headers.dtype),
-                    shm_out.name, shm_occ.name, b,
+                    shm_out.name, shm_occ.name, b, pending,
                 )
-                for b in bounds
+                for b, pending in zip(bounds, prefixes)
             ]
             results = pool.map(_run_chunk_shm, tasks)
             match = np.ndarray((n,), np.int64, buffer=shm_out.buf).copy()
@@ -424,11 +638,27 @@ class ClassificationPipeline:
         n: int,
         elapsed: float,
         workers: int,
+        entries: list[_ScheduledEntry] | None = None,
+        base_epoch: int | None = None,
+        update_results: list | None = None,
     ) -> PipelineResult:
+        entries = entries or []
+        # Epoch of chunk i = version at run start + batches in effect by
+        # chunk i; deterministic whichever process applied them.
+        effects = [e.effect_chunk for e in entries]
+        ops_at: dict[int, int] = {}
+        for e in entries:
+            ops_at[e.effect_chunk] = ops_at.get(e.effect_chunk, 0) + len(
+                e.batch
+            )
         chunks: list[ChunkStats] = []
         for i, ((start, end), (match, occ, cache)) in enumerate(
             zip(bounds, outputs)
         ):
+            epoch = (
+                None if base_epoch is None
+                else base_epoch + bisect_left(effects, i + 1)
+            )
             chunks.append(
                 ChunkStats(
                     index=i,
@@ -439,6 +669,8 @@ class ClassificationPipeline:
                     cache_hits=None if cache is None else cache[0],
                     cache_misses=None if cache is None else cache[1],
                     cache_evictions=None if cache is None else cache[2],
+                    epoch=epoch,
+                    updates_applied=ops_at.get(i, 0),
                 )
             )
         if outputs:
@@ -452,6 +684,9 @@ class ClassificationPipeline:
             occupancy = None
         caches = [c for _, _, c in outputs]
         has_cache = bool(caches) and all(c is not None for c in caches)
+        skipped = sum(
+            getattr(r, "skipped", 0) for r in (update_results or [])
+        )
         return PipelineResult(
             match=match,
             chunks=chunks,
@@ -464,6 +699,12 @@ class ClassificationPipeline:
             cache_hits=sum(c[0] for c in caches) if has_cache else None,
             cache_misses=sum(c[1] for c in caches) if has_cache else None,
             cache_evictions=sum(c[2] for c in caches) if has_cache else None,
+            update_batches=len(entries),
+            update_ops=sum(len(e.batch) for e in entries),
+            update_skipped=skipped,
+            final_epoch=(
+                None if base_epoch is None else base_epoch + len(entries)
+            ),
         )
 
 
