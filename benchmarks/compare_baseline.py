@@ -40,6 +40,7 @@ GATED_METRICS = frozenset({
     "update_patch.speedup",
     "flowcache.effective_lookup_speedup",
     "pipeline_pool.amortisation",
+    "stream_overlap.end_to_end_speedup",
 })
 
 

@@ -13,8 +13,11 @@ Compared options:
 * a Cypress Ayama-class TCAM sized for the same ruleset (with its
   range-expansion storage penalty).
 
-Run:  python examples/energy_budget.py
+Run:  python examples/energy_budget.py        (REPRO_QUICK=1 shrinks the
+workload for CI smoke runs)
 """
+
+import os
 
 from repro import generate_ruleset, generate_trace, build_hicuts, build_hypercuts
 from repro.algorithms.rfc import build_rfc
@@ -30,9 +33,12 @@ from repro.energy import (
 from repro.hw import Accelerator, build_memory_image
 
 
+QUICK = os.environ.get("REPRO_QUICK") == "1"
+
+
 def main() -> None:
-    rules = generate_ruleset("acl1", 2191, seed=7)
-    trace = generate_trace(rules, 100_000, seed=8)
+    rules = generate_ruleset("acl1", 400 if QUICK else 2191, seed=7)
+    trace = generate_trace(rules, 10_000 if QUICK else 100_000, seed=8)
     n = trace.n_packets
     sa = Sa1100Model()
     rows: list[tuple[str, float, float, str]] = []

@@ -11,12 +11,19 @@ accelerator for growing fw1 rulesets and reports:
 * the worst-case cycles (the guaranteed-bandwidth bound, Section 5.2);
 * the spfac fallback the paper recommends when memory runs out.
 
-Run:  python examples/firewall_linecard.py
+Run:  python examples/firewall_linecard.py    (REPRO_QUICK=1 shrinks the
+size grid for CI smoke runs)
 """
+
+import os
 
 from repro import generate_ruleset, generate_trace, build_hicuts
 from repro.energy import OC192, OC768
 from repro.hw import DEFAULT_CAPACITY_WORDS, Accelerator, build_memory_image, measure_layout
+
+QUICK = os.environ.get("REPRO_QUICK") == "1"
+SIZES = (300, 1200) if QUICK else (300, 1200, 2500, 5000, 10000)
+TRACE_PACKETS = 5_000 if QUICK else 50_000
 
 
 def size_accelerator(family: str, n_rules: int, spfac: int) -> dict:
@@ -32,7 +39,7 @@ def size_accelerator(family: str, n_rules: int, spfac: int) -> dict:
     }
     if row["fits"]:
         image = build_memory_image(tree, speed=1)
-        trace = generate_trace(rules, 50_000, seed=4)
+        trace = generate_trace(rules, TRACE_PACKETS, seed=4)
         run = Accelerator(image).run_trace(trace)
         row["fpga_mpps"] = 77e6 / run.mean_occupancy() / 1e6
         row["asic_mpps"] = 226e6 / run.mean_occupancy() / 1e6
@@ -42,7 +49,7 @@ def size_accelerator(family: str, n_rules: int, spfac: int) -> dict:
 def main() -> None:
     print(f"{'rules':>7s} {'spfac':>5s} {'memory':>12s} {'fits 1024w':>10s} "
           f"{'wc cyc':>6s} {'FPGA Mpps':>9s} {'ASIC Mpps':>9s}")
-    for n in (300, 1200, 2500, 5000, 10000):
+    for n in SIZES:
         row = size_accelerator("fw1", n, spfac=4)
         if not row["fits"]:
             # The paper's remedy: trade throughput for memory via spfac.

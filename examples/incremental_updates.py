@@ -13,8 +13,11 @@ control plane, re-laid-out, and the update cost is reported as build
 energy + memory write transactions — versus RFC, which must rebuild a
 cross-product table hierarchy that is orders of magnitude more expensive.
 
-Run:  python examples/incremental_updates.py
+Run:  python examples/incremental_updates.py  (REPRO_QUICK=1 shrinks the
+workload for CI smoke runs)
 """
+
+import os
 
 import numpy as np
 
@@ -26,9 +29,12 @@ from repro.energy import Sa1100Model
 from repro.hw import Accelerator, build_memory_image
 
 
+QUICK = os.environ.get("REPRO_QUICK") == "1"
+
+
 def main() -> None:
     sa = Sa1100Model()
-    rules = generate_ruleset("acl1", 1500, seed=11)
+    rules = generate_ruleset("acl1", 400 if QUICK else 1500, seed=11)
     extra = generate_ruleset("acl1", 40, seed=99)
 
     # Baseline structure.
@@ -54,7 +60,7 @@ def main() -> None:
     )
 
     # The refreshed structure still matches first-match semantics.
-    trace = generate_trace(rules, 20_000, seed=12)
+    trace = generate_trace(rules, 5_000 if QUICK else 20_000, seed=12)
     run = Accelerator(image2).run_trace(trace)
     oracle = LinearSearchClassifier(rules).classify_trace(trace)
     assert np.array_equal(run.match, oracle)

@@ -9,19 +9,24 @@ Walks the whole pipeline of the paper in ~30 lines of API:
 4. run a packet trace through the accelerator model,
 5. report throughput and energy on the paper's ASIC and FPGA devices.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py           (REPRO_QUICK=1 shrinks the
+workload for CI smoke runs)
 """
+
+import os
 
 from repro import generate_ruleset, generate_trace, build_hypercuts
 from repro.algorithms import LinearSearchClassifier
 from repro.energy import asic_model, fpga_model, OC192, OC768, sustains_line_rate
 from repro.hw import Accelerator, build_memory_image
 
+QUICK = os.environ.get("REPRO_QUICK") == "1"
+
 
 def main() -> None:
     # 1. A 1000-rule ACL and a 100k-packet trace hitting it.
-    rules = generate_ruleset("acl1", 1000, seed=1)
-    trace = generate_trace(rules, 100_000, seed=2)
+    rules = generate_ruleset("acl1", 300 if QUICK else 1000, seed=1)
+    trace = generate_trace(rules, 10_000 if QUICK else 100_000, seed=2)
     print(f"ruleset: {rules.name} ({len(rules)} rules)")
     print(f"trace:   {trace.n_packets:,} packets")
 

@@ -17,8 +17,11 @@ example drives the real serving path added in the engine layer:
 * the control-plane cost of the incremental path is compared with a
   from-scratch rebuild via ``repro.energy.updates.UpdateCostModel``.
 
-Run:  python examples/update_serving.py
+Run:  python examples/update_serving.py       (REPRO_QUICK=1 shrinks the
+workload for CI smoke runs)
 """
+
+import os
 
 import numpy as np
 
@@ -34,9 +37,15 @@ from repro.engine import (
 )
 
 
+QUICK = os.environ.get("REPRO_QUICK") == "1"
+
+
 def main() -> None:
-    rules = generate_ruleset("acl1", 2000, seed=21)
-    trace = generate_trace(rules, 50_000, seed=22, background_fraction=0.05)
+    rules = generate_ruleset("acl1", 500 if QUICK else 2000, seed=21)
+    trace = generate_trace(
+        rules, 10_000 if QUICK else 50_000, seed=22,
+        background_fraction=0.05,
+    )
 
     build_ops = OpCounter()
     inner = build_updatable_backend(

@@ -48,8 +48,9 @@ from .engine import (
     available_backends,
     build_backend,
 )
+from .serve import ChunkResult, Engine, EngineConfig, EngineReport
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DEMO_SCHEMA",
@@ -75,5 +76,9 @@ __all__ = [
     "ClassificationPipeline",
     "available_backends",
     "build_backend",
+    "ChunkResult",
+    "Engine",
+    "EngineConfig",
+    "EngineReport",
     "__version__",
 ]

@@ -7,11 +7,18 @@ Subcommands mirror a hardware bring-up flow:
 * ``classify`` — run a trace through any registered engine backend
   (decision trees default to the accelerator model) and print
   throughput/energy on the paper's devices;
-* ``bench`` — stream a trace through the sharded
-  :class:`~repro.engine.ClassificationPipeline` and report serving
-  throughput plus, for the accelerator, device throughput and energy;
+* ``bench`` — serve a trace through a :class:`~repro.serve.Engine`
+  session (sharded, optionally persistent/cached/updatable, optionally
+  with streamed segment ingestion) and report serving throughput plus,
+  for the accelerator, device throughput and energy;
 * ``tables`` — regenerate the paper's tables (wraps run_all);
 * ``fsm`` — print a Figure-5 style cycle trace for a few packets.
+
+``classify`` and ``bench`` are thin shells over the declarative serving
+API: the flag namespace maps onto :class:`~repro.serve.EngineConfig`
+via ``EngineConfig.from_args`` (and back via ``to_args`` — the config
+test suite pins the round trip), and all backend construction, cache
+wrapping and pool lifecycle belongs to :class:`~repro.serve.Engine`.
 
 ``--algorithm`` accepts every name in :mod:`repro.engine.registry`
 (``repro-classify classify --algorithm rfc ...``); ``build`` errors
@@ -34,16 +41,10 @@ from .core.errors import ConfigError, ReproError
 from .core.packet import PacketTrace
 from .core.ruleset import RuleSet
 from .energy import CacheEnergyModel, UpdateCostModel, asic_model, fpga_model, ops_delta
-from .engine import (
-    CachedClassifier,
-    ClassificationPipeline,
-    available_backends,
-    backend_spec,
-    build_backend,
-    build_updatable_backend,
-)
+from .engine import CachedClassifier, available_backends, backend_spec
 from .engine.registry import registered_aliases
 from .hw import build_memory_image, figure5_trace
+from .serve import ENERGY_MODELS, Engine, EngineConfig, iter_trace_segments
 
 #: Names ``--algorithm`` accepts: every registered backend plus aliases.
 _ALGORITHM_CHOICES = sorted(set(available_backends()) | set(registered_aliases()))
@@ -75,50 +76,24 @@ def _build_tree(ruleset: RuleSet, args):
     )
 
 
-def _engine_classifier(ruleset: RuleSet, args):
-    """Instantiate the backend ``args.algorithm`` names via the registry.
+def _open_engine(ruleset: RuleSet, args) -> Engine:
+    """Open the serving session the CLI namespace describes.
 
-    Decision-tree names map onto the hardware accelerator unless
-    ``--software`` asks for the original software traversal, mirroring
-    the historical ``classify`` behaviour.  With ``--updates`` the
-    backend is built through the update-serving surface instead: tree
-    names route to the incremental backend (the paper's control-plane
-    path), everything else serves updates by rebuild adaptation.
+    The whole knob-to-backend policy (tree names route to the
+    accelerator unless ``--software``, ``--updates``/``--updatable``
+    builds through the update-serving surface, ``--cache-entries``
+    wraps a flow cache) lives in
+    :meth:`repro.serve.Engine.build_classifier`; the CLI only maps
+    flags to an :class:`~repro.serve.EngineConfig`.
     """
-    name = args.algorithm
-    spec = backend_spec(name)
-    software = getattr(args, "software", False)
-    if getattr(args, "updates", 0):
+    config = EngineConfig.from_args(args)
+    if config.updatable:
         build_ops = OpCounter()
-        if spec.builds_tree or spec.name == "incremental":
-            clf = build_updatable_backend(
-                "incremental", ruleset,
-                algorithm=spec.name if spec.builds_tree else "hicuts",
-                binth=args.binth, spfac=args.spfac,
-                hw_mode=not software, ops=build_ops,
-            )
-        else:
-            clf = build_updatable_backend(
-                spec.name, ruleset,
-                binth=args.binth, spfac=args.spfac, speed=args.speed,
-                hw_mode=not software,
-            )
-        clf.build_ops_snapshot = build_ops.copy()
-    elif spec.builds_tree and not software:
-        clf = build_backend(
-            "accelerator", ruleset, algorithm=spec.name,
-            binth=args.binth, spfac=args.spfac, speed=args.speed,
-        )
-    else:
-        clf = build_backend(
-            spec.name, ruleset,
-            binth=args.binth, spfac=args.spfac, speed=args.speed,
-            hw_mode=not software,
-        )
-    entries = getattr(args, "cache_entries", 0)
-    if entries:
-        clf = CachedClassifier(clf, entries=entries, ways=args.cache_ways)
-    return clf
+        engine = Engine.open(config, ruleset, ops=build_ops)
+        inner = getattr(engine.classifier, "classifier", engine.classifier)
+        inner.build_ops_snapshot = build_ops.copy()
+        return engine
+    return Engine.open(config, ruleset)
 
 
 def _print_cache_report(clf, hits: int, misses: int, evictions: int) -> None:
@@ -186,29 +161,33 @@ def cmd_build(args) -> int:
 def cmd_classify(args) -> int:
     rs = _load_or_generate(args)
     trace = _load_or_generate_trace(args, rs)
-    clf = _engine_classifier(rs, args)
-    if hasattr(clf, "run_trace"):  # the accelerator: full cost model
-        run = clf.run_trace(trace)
-        asic, fpga = asic_model(), fpga_model()
-        a, f = asic.evaluate(run), fpga.evaluate(run)
-        matched = int((run.match >= 0).sum())
-        print(f"classified {trace.n_packets} packets, {matched} matched")
-        print(f"mean occupancy: {run.mean_occupancy():.3f} cycles/packet")
-        print(f"worst-case latency: {run.worst_latency()} cycles")
-        print(f"ASIC 226MHz: {a.throughput_pps / 1e6:8.1f} Mpps, "
-              f"{a.energy_per_packet_norm_j:.3E} J/packet")
-        print(f"FPGA  77MHz: {f.throughput_pps / 1e6:8.1f} Mpps, "
-              f"{f.energy_per_packet_norm_j:.3E} J/packet")
-        return 0
-    matches = clf.classify_trace(trace)
-    matched = int((matches >= 0).sum())
-    print(f"classified {trace.n_packets} packets, {matched} matched")
-    print(f"backend: {backend_spec(args.algorithm).name}")
-    print(f"memory model: {clf.memory_bytes():,} bytes")
-    print(f"worst-case accesses/lookup: {clf.memory_accesses_per_lookup()}")
-    if isinstance(clf, CachedClassifier):
-        stats = clf.cache.stats
-        _print_cache_report(clf, stats.hits, stats.misses, stats.evictions)
+    with _open_engine(rs, args) as engine:
+        clf = engine.classifier
+        if hasattr(clf, "run_trace"):  # the accelerator: full cost model
+            run = clf.run_trace(trace)
+            asic, fpga = asic_model(), fpga_model()
+            a, f = asic.evaluate(run), fpga.evaluate(run)
+            matched = int((run.match >= 0).sum())
+            print(f"classified {trace.n_packets} packets, {matched} matched")
+            print(f"mean occupancy: {run.mean_occupancy():.3f} cycles/packet")
+            print(f"worst-case latency: {run.worst_latency()} cycles")
+            print(f"ASIC 226MHz: {a.throughput_pps / 1e6:8.1f} Mpps, "
+                  f"{a.energy_per_packet_norm_j:.3E} J/packet")
+            print(f"FPGA  77MHz: {f.throughput_pps / 1e6:8.1f} Mpps, "
+                  f"{f.energy_per_packet_norm_j:.3E} J/packet")
+            return 0
+        report = engine.classify(trace)
+        print(f"classified {report.n_packets} packets, "
+              f"{report.matched} matched")
+        print(f"backend: {backend_spec(args.algorithm).name}")
+        print(f"memory model: {clf.memory_bytes():,} bytes")
+        print(f"worst-case accesses/lookup: "
+              f"{clf.memory_accesses_per_lookup()}")
+        if isinstance(clf, CachedClassifier):
+            _print_cache_report(
+                clf, report.cache_hits, report.cache_misses,
+                report.cache_evictions,
+            )
     return 0
 
 
@@ -226,11 +205,17 @@ def _parse_update_mix(mix: str) -> float:
 
 
 def _print_update_report(clf, res) -> None:
-    """Epoch trajectory, patch-vs-recompile counters, and the update
-    energy model (control-plane ops vs a from-scratch rebuild)."""
+    """Epoch trajectory, apply-latency percentiles, patch-vs-recompile
+    counters, and the update energy model (control-plane ops vs a
+    from-scratch rebuild)."""
     print(f"updates: {res.update_batches} batches / {res.update_ops} ops "
           f"({res.update_skipped} skipped), epochs "
-          f"{res.chunks[0].epoch}..{res.final_epoch}")
+          f"{res.first_epoch}..{res.final_epoch}")
+    pct = res.update_latency
+    if pct is not None:
+        print(f"update latency/batch: p50 {pct['p50_ms']:.3f} ms, "
+              f"p95 {pct['p95_ms']:.3f} ms, p99 {pct['p99_ms']:.3f} ms "
+              f"(max {pct['max_ms']:.3f} ms over {pct['batches']} batches)")
     inner = getattr(clf, "classifier", clf)
     tree = getattr(inner, "tree", None)
     if tree is not None and hasattr(tree, "flat_patches"):
@@ -260,11 +245,18 @@ def _print_update_report(clf, res) -> None:
 def cmd_bench(args) -> int:
     rs = _load_or_generate(args)
     trace = _load_or_generate_trace(args, rs)
-    clf = _engine_classifier(rs, args)
     if args.persistent and args.shards < 2:
         print(
             "warning: --persistent needs --shards >= 2 to fork a worker "
             "pool; running single-process",
+            file=sys.stderr,
+        )
+    if args.stream and args.shards > 1 and args.stream <= args.chunk_size:
+        print(
+            f"warning: --stream {args.stream} <= --chunk-size "
+            f"{args.chunk_size} gives single-chunk segments, which serve "
+            "single-process; use segments of at least "
+            f"{2 * args.chunk_size} packets to engage the shards",
             file=sys.stderr,
         )
     schedule = None
@@ -274,33 +266,34 @@ def cmd_bench(args) -> int:
             insert_fraction=_parse_update_mix(args.update_mix),
             batch_size=args.update_batch, seed=args.seed + 2,
         )
-    pipeline = ClassificationPipeline(
-        clf, chunk_size=args.chunk_size, shards=args.shards,
-        persistent=args.persistent,
-    )
-    try:
+    with _open_engine(rs, args) as engine:
+        clf = engine.classifier
         # The update stream rides along the first run; repeats then
         # serve the updated ruleset (steady state after the churn).
-        res = pipeline.run(trace, updates=schedule)
+        if args.stream:
+            res = engine.classify_stream(
+                iter_trace_segments(trace, args.stream), updates=schedule
+            )
+            print(f"streamed ingestion: {res.n_segments} segments x "
+                  f"{args.stream} packets (bounded ring, overlapped)")
+        else:
+            res = engine.classify(trace, updates=schedule)
         first_run = res
         for i in range(1, args.repeats):
-            rerun = pipeline.run(trace)
+            rerun = engine.classify(trace)
             print(f"run {i + 1}/{args.repeats}: "
-                  f"{rerun.throughput_pps():,.0f} packets/s "
+                  f"{rerun.throughput_pps:,.0f} packets/s "
                   f"(wall clock {rerun.elapsed_s * 1e3:.1f} ms)")
             res = rerun
         # The persistent pool is forked lazily on first use, so its
         # existence after the runs says whether the mode engaged.
-        pool_engaged = pipeline._pool is not None
-    finally:
-        pipeline.close()
-    pool_mode = "persistent" if pool_engaged else "per-run"
+        pool_mode = "persistent" if engine.pool_engaged else "per-run"
     print(f"backend: {res.backend}  shards: {res.n_shards}  "
-          f"chunk: {res.chunk_size} packets  chunks: {len(res.chunks)}  "
+          f"chunk: {res.chunk_size} packets  chunks: {res.n_chunks}  "
           f"pool: {pool_mode}")
     print(f"classified {res.n_packets} packets, {res.matched} matched "
           f"({100 * res.matched_fraction:.1f}%)")
-    print(f"pipeline throughput: {res.throughput_pps():,.0f} packets/s "
+    print(f"pipeline throughput: {res.throughput_pps:,.0f} packets/s "
           f"(wall clock {res.elapsed_s * 1e3:.1f} ms)")
     if schedule is not None:
         _print_update_report(clf, first_run)
@@ -309,13 +302,12 @@ def cmd_bench(args) -> int:
             clf, res.cache_hits, res.cache_misses, res.cache_evictions
         )
     mo = res.mean_occupancy()
-    if mo is not None:
-        asic, fpga = asic_model(), fpga_model()
+    if mo is not None and res.device_throughput_pps is not None:
+        # The report evaluates the device --energy-model selects.
+        label = "ASIC 226MHz" if res.energy_model == "asic" else "FPGA  77MHz"
         print(f"mean occupancy: {mo:.3f} cycles/packet")
-        print(f"ASIC 226MHz: {res.device_throughput_pps(226e6) / 1e6:8.1f} Mpps, "
-              f"{res.energy_per_packet_j(asic):.3E} J/packet")
-        print(f"FPGA  77MHz: {res.device_throughput_pps(77e6) / 1e6:8.1f} Mpps, "
-              f"{res.energy_per_packet_j(fpga):.3E} J/packet")
+        print(f"{label}: {res.device_throughput_pps / 1e6:8.1f} Mpps, "
+              f"{res.energy_per_packet_j:.3E} J/packet")
     return 0
 
 
@@ -367,6 +359,9 @@ def _add_cache_args(p: argparse.ArgumentParser) -> None:
                         "(0 = no cache)")
     p.add_argument("--cache-ways", type=int, default=4,
                    help="flow-cache set associativity")
+    p.add_argument("--cache-max-age", type=int, default=0, metavar="N",
+                   help="flow-cache TTL: entries expire N lookups after "
+                        "the fill (0 = no aging)")
     p.add_argument("--zipf", type=float, default=None, metavar="SKEW",
                    help="generate a Zipf(SKEW) flow-popularity trace "
                         "instead of the Pareto-burst one")
@@ -374,7 +369,16 @@ def _add_cache_args(p: argparse.ArgumentParser) -> None:
                    help="distinct flows in the Zipf trace (with --zipf)")
 
 
-def main(argv: list[str] | None = None) -> int:
+def _add_engine_args(p: argparse.ArgumentParser) -> None:
+    """Flags shared by every EngineConfig-backed subcommand."""
+    p.add_argument("--energy-model", default="asic", choices=ENERGY_MODELS,
+                   help="device model the engine report evaluates "
+                        "occupancy against")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full CLI parser (exposed so the config round-trip tests can
+    feed ``EngineConfig.to_args()`` back through the real parser)."""
     parser = argparse.ArgumentParser(prog="repro-classify", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -395,10 +399,11 @@ def main(argv: list[str] | None = None) -> int:
     _add_workload_args(c, packets=100000)
     c.add_argument("--trace-file", default=None)
     _add_cache_args(c)
+    _add_engine_args(c)
     c.set_defaults(fn=cmd_classify)
 
-    n = sub.add_parser("bench", help="stream a trace through the sharded "
-                                     "classification pipeline")
+    n = sub.add_parser("bench", help="serve a trace through an Engine "
+                                     "session (sharded pipeline)")
     _add_workload_args(n, packets=100000)
     n.add_argument("--trace-file", default=None)
     n.add_argument("--shards", type=int, default=1,
@@ -411,15 +416,24 @@ def main(argv: list[str] | None = None) -> int:
     n.add_argument("--repeats", type=int, default=1,
                    help="run the trace N times (shows the persistent "
                         "pool's fork-amortisation win)")
+    n.add_argument("--stream", type=int, default=0, metavar="PACKETS",
+                   help="serve the trace as streamed PACKETS-sized "
+                        "segments through Engine.stream (bounded result "
+                        "ring, ingestion overlapped with classification; "
+                        "0 = one-shot)")
     n.add_argument("--updates", type=int, default=0, metavar="N",
                    help="interleave N live rule updates with the first "
                         "run (tree algorithms serve them through the "
                         "incremental backend)")
+    n.add_argument("--updatable", action="store_true",
+                   help="build through the update-serving surface even "
+                        "without --updates (implied by --updates)")
     n.add_argument("--update-mix", default="50:50", metavar="INS:REM",
                    help="insert:remove weighting of the update stream")
     n.add_argument("--update-batch", type=int, default=8, metavar="OPS",
                    help="operations per scheduled update batch")
     _add_cache_args(n)
+    _add_engine_args(n)
     n.set_defaults(fn=cmd_bench)
 
     t = sub.add_parser("tables", help="regenerate the paper's tables")
@@ -431,8 +445,11 @@ def main(argv: list[str] | None = None) -> int:
     f = sub.add_parser("fsm", help="Figure-5 cycle trace")
     _add_workload_args(f, packets=5, algorithms=list(_TREE_ALGORITHMS))
     f.set_defaults(fn=cmd_fsm)
+    return parser
 
-    args = parser.parse_args(argv)
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
     except ReproError as exc:

@@ -92,9 +92,20 @@ class FlowCache:
     Tables are allocated lazily on the first probe, when the header
     width is known, so the cache works with any
     :class:`~repro.core.rules.FieldSchema`.
+
+    ``max_age`` enables TTL-style aging: an entry is only served while
+    fewer than ``max_age`` lookups have passed through the cache since
+    it was *filled* (hits refresh the LRU stamp, not the fill time, so
+    a hot flow is still re-validated against the backend every
+    ``max_age`` lookups — the standard defence against a stale flow
+    table).  Expired entries miss and become preferred eviction victims;
+    overwriting one is reclamation, not eviction.  ``max_age=0``
+    disables aging.
     """
 
-    def __init__(self, entries: int = 4096, ways: int = 4) -> None:
+    def __init__(
+        self, entries: int = 4096, ways: int = 4, max_age: int = 0
+    ) -> None:
         if entries < 0:
             raise ConfigError(f"cache entries must be >= 0, got {entries}")
         if entries:
@@ -105,8 +116,13 @@ class FlowCache:
                     f"cache entries ({entries}) must be a multiple of "
                     f"ways ({ways})"
                 )
+        if max_age < 0:
+            raise ConfigError(
+                f"cache max_age must be >= 0 (0 = no aging), got {max_age}"
+            )
         self.entries = int(entries)
         self.ways = int(ways)
+        self.max_age = int(max_age)
         self.n_sets = self.entries // self.ways if entries else 0
         self.stats = FlowCacheStats()
         self._tick = np.int64(1)
@@ -120,6 +136,7 @@ class FlowCache:
         self._result: np.ndarray | None = None  # (sets, ways) int64
         self._stamp: np.ndarray | None = None  # (sets, ways) int64 last use
         self._epoch: np.ndarray | None = None  # (sets, ways) int64 fill tag
+        self._filled: np.ndarray | None = None  # (sets, ways) int64 fill tick
 
     # ------------------------------------------------------------------
     @property
@@ -133,10 +150,15 @@ class FlowCache:
             self._result = np.full((self.n_sets, self.ways), -1, np.int64)
             self._stamp = np.zeros((self.n_sets, self.ways), np.int64)
             self._epoch = np.full((self.n_sets, self.ways), -1, np.int64)
+            self._filled = np.zeros((self.n_sets, self.ways), np.int64)
 
     def _live(self, sets: np.ndarray) -> np.ndarray:
-        """Valid entries whose fill epoch is still current."""
-        return self._valid[sets] & (self._epoch[sets] == self.epoch)
+        """Valid entries whose fill epoch is still current (and, with
+        aging on, whose fill is younger than ``max_age`` lookups)."""
+        live = self._valid[sets] & (self._epoch[sets] == self.epoch)
+        if self.max_age:
+            live &= (self._tick - self._filled[sets]) <= np.int64(self.max_age)
+        return live
 
     def _set_index(self, headers: np.ndarray) -> np.ndarray:
         """FNV-1a over the header columns, folded modulo the set count."""
@@ -204,6 +226,7 @@ class FlowCache:
         self._result[s, way] = results
         self._stamp[s, way] = self._tick  # fresher than this batch's hits
         self._epoch[s, way] = self.epoch
+        self._filled[s, way] = self._tick
         self._tick += np.int64(1)
 
     def invalidate(self) -> None:
@@ -229,16 +252,21 @@ class FlowCache:
 
     # ------------------------------------------------------------------
     def occupancy_fraction(self) -> float:
-        """Fraction of cache slots holding a live, current-epoch entry."""
+        """Fraction of cache slots holding a live, unexpired entry."""
         if self._valid is None or not self.entries:
             return 0.0
-        return float((self._valid & (self._epoch == self.epoch)).mean())
+        live = self._valid & (self._epoch == self.epoch)
+        if self.max_age:
+            live &= (self._tick - self._filled) <= np.int64(self.max_age)
+        return float(live.mean())
 
     def memory_bytes(self, ndim: int = 5) -> int:
-        """Modelled footprint: key + result + stamp + epoch + valid."""
+        """Modelled footprint: key + result + stamp + epoch + valid
+        (+ the fill-time stamp when aging is enabled)."""
         if self._keys is not None:
             ndim = self._keys.shape[2]
-        return self.entries * (4 * ndim + 8 + 8 + 8 + 1)
+        age_stamp = 8 if self.max_age else 0
+        return self.entries * (4 * ndim + 8 + 8 + 8 + 1 + age_stamp)
 
 
 class CachedClassifier(ClassifierBase):
@@ -255,9 +283,10 @@ class CachedClassifier(ClassifierBase):
         classifier: Classifier,
         entries: int = 4096,
         ways: int = 4,
+        max_age: int = 0,
     ) -> None:
         self.classifier = classifier
-        self.cache = FlowCache(entries, ways=ways)
+        self.cache = FlowCache(entries, ways=ways, max_age=max_age)
         inner = getattr(classifier, "backend_name", type(classifier).__name__)
         self.backend_name = f"{inner}+cache"
         schema = getattr(classifier, "schema", None)
@@ -386,6 +415,7 @@ def build_cached_backend(
     *,
     cache_entries: int = 4096,
     cache_ways: int = 4,
+    cache_max_age: int = 0,
     **params,
 ) -> CachedClassifier:
     """Registry composition: build backend ``name`` and wrap it."""
@@ -393,4 +423,5 @@ def build_cached_backend(
         build_backend(name, ruleset, **params),
         entries=cache_entries,
         ways=cache_ways,
+        max_age=cache_max_age,
     )

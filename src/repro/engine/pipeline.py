@@ -242,6 +242,10 @@ class PipelineResult:
     update_ops: int = 0
     update_skipped: int = 0
     final_epoch: int | None = None
+    #: Parent-side wall-clock seconds each update batch took to apply,
+    #: in schedule order (the control-plane apply cost: tree surgery +
+    #: kernel patch + cache epoch bump).  Empty when no updates ran.
+    update_latencies_s: tuple[float, ...] = ()
 
     @property
     def n_packets(self) -> int:
@@ -455,13 +459,18 @@ class ClassificationPipeline:
             ))
         return entries
 
-    def _parent_apply(self, entries: list[_ScheduledEntry]) -> list:
+    def _parent_apply(
+        self, entries: list[_ScheduledEntry], latencies: list[float]
+    ) -> list:
         """Apply ``entries`` to this process's classifier (watermarked,
-        so batches a fallback chunk loop already applied are skipped)."""
+        so batches a fallback chunk loop already applied are skipped).
+        Per-batch apply seconds are appended to ``latencies``."""
         results = []
         for entry in entries:
             if entry.seq > self._applied_seq:
+                t0 = time.perf_counter()
                 results.append(self.classifier.apply_updates(entry.batch))
+                latencies.append(time.perf_counter() - t0)
                 self._applied_seq = entry.seq
         return results
 
@@ -501,6 +510,7 @@ class ClassificationPipeline:
             if is_updatable(self.classifier) else None
         )
         update_results = []
+        update_latencies: list[float] = []
         started = time.perf_counter()
         if self.shards > 1 and len(bounds) > 1 and self._fork_available():
             if self.persistent:
@@ -511,20 +521,24 @@ class ClassificationPipeline:
                 outputs, workers = self._run_forked(headers, bounds, entries)
             # The parent's copy catches up after the run (its state then
             # matches the workers', and later forks inherit it).
-            update_results = self._parent_apply(entries)
+            update_results = self._parent_apply(entries, update_latencies)
         else:
             outputs = []
             idx = 0
             for i, b in enumerate(bounds):
                 while idx < len(entries) and entries[idx].effect_chunk <= i:
+                    t0 = time.perf_counter()
                     update_results.append(
                         self.classifier.apply_updates(entries[idx].batch)
                     )
+                    update_latencies.append(time.perf_counter() - t0)
                     self._applied_seq = entries[idx].seq
                     idx += 1
                 outputs.append(_run_chunk_local(self.classifier, headers, b))
             # Batches scheduled past the last chunk apply after the trace.
-            update_results.extend(self._parent_apply(entries))
+            update_results.extend(
+                self._parent_apply(entries, update_latencies)
+            )
             workers = 1
         if entries and self._pool is not None:
             # Keep the long-lived workers replayable: later runs ship
@@ -541,6 +555,7 @@ class ClassificationPipeline:
             outputs, bounds, n, elapsed, workers,
             entries=entries, base_epoch=base_epoch,
             update_results=update_results,
+            update_latencies=update_latencies,
         )
 
     def _run_forked(
@@ -641,6 +656,7 @@ class ClassificationPipeline:
         entries: list[_ScheduledEntry] | None = None,
         base_epoch: int | None = None,
         update_results: list | None = None,
+        update_latencies: list[float] | None = None,
     ) -> PipelineResult:
         entries = entries or []
         # Epoch of chunk i = version at run start + batches in effect by
@@ -702,6 +718,7 @@ class ClassificationPipeline:
             update_batches=len(entries),
             update_ops=sum(len(e.batch) for e in entries),
             update_skipped=skipped,
+            update_latencies_s=tuple(update_latencies or ()),
             final_epoch=(
                 None if base_epoch is None else base_epoch + len(entries)
             ),

@@ -27,8 +27,8 @@ from ..algorithms.base import BatchLookup
 from ..classbench import generate_ruleset, generate_trace
 from ..core.packet import PacketTrace
 from ..core.ruleset import RuleSet
-from ..engine import build_backend
 from ..engine.backends import AcceleratorClassifier, DecisionTreeClassifier
+from ..serve import Engine, EngineConfig
 from ..hw import (
     AcceleratorRun,
     LayoutMeasurement,
@@ -159,12 +159,18 @@ class Pipeline:
 
     # ------------------------------------------------------------------
     def _build_software(self, wl: Workload) -> dict[str, Variant]:
+        """The original software algorithms, built declaratively: the
+        ``software=True`` config routes tree names onto the plain
+        decision-tree backend instead of the accelerator."""
         out = {}
         for name in ("hicuts", "hypercuts"):
             ops = OpCounter()
-            clf: DecisionTreeClassifier = build_backend(
-                name, wl.ruleset,
-                binth=BINTH_SOFTWARE, spfac=self.spfac, hw_mode=False, ops=ops,
+            config = EngineConfig(
+                backend=name, binth=BINTH_SOFTWARE, spfac=self.spfac,
+                software=True,
+            )
+            clf: DecisionTreeClassifier = Engine.build_classifier(
+                config, wl.ruleset, ops=ops,
             )
             variant = Variant(name=name, hw=False, tree=clf.tree, build_ops=ops)
             variant.batch = clf.tree.batch_lookup(wl.trace)
@@ -172,14 +178,19 @@ class Pipeline:
         return out
 
     def _build_hardware(self, wl: Workload) -> dict[str, Variant]:
+        """The accelerator variants: the default (non-software) config
+        maps a tree name onto the hardware backend, exactly like the
+        CLI's ``classify --algorithm hicuts``."""
         out = {}
         for name in ("hicuts", "hypercuts"):
             ops = OpCounter()
-            clf: AcceleratorClassifier = build_backend(
-                "accelerator", wl.ruleset,
-                algorithm=name, binth=BINTH_HARDWARE, spfac=self.spfac,
-                speed=self.speed, capacity_words=MEASUREMENT_CAPACITY_WORDS,
-                ops=ops,
+            config = EngineConfig(
+                backend=name, binth=BINTH_HARDWARE, spfac=self.spfac,
+                speed=self.speed,
+            )
+            clf: AcceleratorClassifier = Engine.build_classifier(
+                config, wl.ruleset,
+                capacity_words=MEASUREMENT_CAPACITY_WORDS, ops=ops,
             )
             variant = Variant(name=name, hw=True, tree=clf.tree, build_ops=ops)
             variant.image = clf.image

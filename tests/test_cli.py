@@ -103,6 +103,28 @@ class TestBench:
         out = capsys.readouterr().out
         assert "flow cache: 256 entries" in out
 
+    def test_bench_stream_mode(self, capsys):
+        rc = main([
+            "bench", "--family", "acl1", "--rules", "120", "--seed", "3",
+            "--packets", "4000", "--algorithm", "tss", "--stream", "1000",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "streamed ingestion: 4 segments x 1000 packets" in out
+        assert "classified 4000 packets" in out
+
+    def test_bench_energy_model_selects_device(self, capsys):
+        common = [
+            "bench", "--family", "acl1", "--rules", "120", "--seed", "3",
+            "--packets", "1000", "--algorithm", "hypercuts",
+        ]
+        assert main([*common, "--energy-model", "fpga"]) == 0
+        out = capsys.readouterr().out
+        assert "FPGA" in out and "ASIC" not in out
+        assert main([*common, "--energy-model", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "FPGA" not in out and "ASIC" not in out
+
     def test_bad_cache_geometry_is_clean_error(self, capsys):
         rc = main([
             "bench", "--family", "acl1", "--rules", "60", "--seed", "3",

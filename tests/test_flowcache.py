@@ -132,6 +132,102 @@ class TestFlowCacheUnit:
         assert cache.stats.invalidations == 1
 
 
+class TestFlowCacheAging:
+    """TTL/aging eviction: entries expire ``max_age`` lookups after the
+    tick they were *filled* at (hits refresh the LRU stamp only)."""
+
+    def test_bad_max_age_rejected(self):
+        with pytest.raises(ConfigError, match="max_age"):
+            FlowCache(8, ways=2, max_age=-1)
+
+    def test_fresh_entry_hits_stale_entry_misses(self):
+        cache = FlowCache(8, ways=2, max_age=6)
+        hdr = _headers([[1, 2, 3, 4, 5]])
+        other = _headers([[9, 9, 9, 9, 9]])
+        cache.probe(hdr)
+        cache.fill(hdr, np.array([7]))
+        assert cache.probe(hdr)[0].all()  # well inside the TTL window
+        for _ in range(6):  # age the entry out with unrelated lookups
+            cache.probe(other)
+        assert not cache.probe(hdr)[0].any()
+
+    def test_hits_do_not_extend_the_ttl(self):
+        # A hot flow keeps hitting right up to max_age, then must be
+        # re-validated against the backend: hits refresh the LRU stamp,
+        # not the fill time.
+        cache = FlowCache(8, ways=2, max_age=4)
+        hdr = _headers([[1, 2, 3, 4, 5]])
+        cache.fill(hdr, np.array([7]))
+        hits = [bool(cache.probe(hdr)[0][0]) for _ in range(8)]
+        assert hits[0] and not hits[-1]
+        assert hits.index(False) <= 4
+
+    def test_zero_max_age_disables_aging(self):
+        cache = FlowCache(8, ways=2, max_age=0)
+        hdr = _headers([[1, 2, 3, 4, 5]])
+        other = _headers([[9, 9, 9, 9, 9]])
+        cache.fill(hdr, np.array([7]))
+        for _ in range(1000):
+            cache.probe(other)
+        assert cache.probe(hdr)[0].all()
+
+    def test_expired_slot_is_reclaimed_not_evicted(self):
+        cache = FlowCache(2, ways=2, max_age=3)  # one set of two ways
+        a = _headers([[1, 0, 0, 0, 0]])
+        b = _headers([[2, 0, 0, 0, 0]])
+        c = _headers([[3, 0, 0, 0, 0]])
+        cache.fill(a, np.array([10]))
+        for _ in range(4):
+            cache.probe(b)  # a expires
+        cache.fill(b, np.array([11]))  # one live entry, one expired
+        cache.fill(c, np.array([12]))  # lands on a's expired slot
+        assert cache.stats.evictions == 0
+        assert cache.probe(b)[0].all() and cache.probe(c)[0].all()
+
+    def test_occupancy_fraction_drops_after_expiry(self):
+        cache = FlowCache(4, ways=2, max_age=2)
+        cache.fill(_headers([[1, 0, 0, 0, 0]]), np.array([1]))
+        assert cache.occupancy_fraction() > 0.0
+        for _ in range(3):
+            cache.probe(_headers([[8, 8, 8, 8, 8]]))
+        assert cache.occupancy_fraction() == 0.0
+
+    def test_cached_classifier_revalidates_after_expiry(self, acl_small):
+        # Bit-identity is unconditional; aging only changes *when* the
+        # backend is consulted.  After the TTL passes, the same flow
+        # causes a second backend lookup.
+        inner = CountingClassifier()
+        cached = CachedClassifier(inner, entries=64, ways=4, max_age=8)
+        hdr = _headers([[1, 2, 3, 4, 5]])
+        bulk = _headers([[6, 7, 8, 9, 1]])
+        assert cached.classify_batch(hdr).tolist() == [4]
+        calls = inner.calls
+        assert cached.classify_batch(hdr).tolist() == [4]  # served by cache
+        assert inner.calls == calls
+        for _ in range(12):
+            cached.classify_batch(bulk)
+        calls = inner.calls
+        assert cached.classify_batch(hdr).tolist() == [4]
+        assert inner.calls == calls + 1  # expired -> revalidated
+
+    def test_pipeline_conformance_with_aggressive_ttl(
+        self, acl_small, zipf_trace
+    ):
+        # A pathologically small TTL must never change results, only
+        # hit rates: the pipeline output stays bit-identical.
+        bare = build_backend("tuple_space", acl_small)
+        want = bare.classify_trace(zipf_trace)
+        cached = CachedClassifier(bare, entries=256, ways=4, max_age=50)
+        res = ClassificationPipeline(cached, chunk_size=256).run(zipf_trace)
+        assert np.array_equal(res.match, want)
+        aged = res.cache_hit_rate
+        fresh = ClassificationPipeline(
+            CachedClassifier(bare, entries=256, ways=4), chunk_size=256
+        ).run(zipf_trace)
+        assert np.array_equal(fresh.match, want)
+        assert aged <= fresh.cache_hit_rate
+
+
 class TestCachedClassifierEdgeCases:
     def test_zero_entry_cache_is_pure_passthrough(self):
         inner = CountingClassifier()

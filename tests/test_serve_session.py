@@ -1,0 +1,405 @@
+"""`Engine` sessions: stream/classify bit-identity and lifecycle.
+
+The acceptance contract of the serving redesign: ``Engine.stream`` is
+bit-identical to ``Engine.classify`` (and to driving the underlying
+``ClassificationPipeline`` directly, the PR 4 surface) across
+backend x shards x persistent x cache x updates.  Streamed sessions
+must also behave like sessions: lazy start, clean early exit with no
+leaked threads, errors in the segment source surfaced to the consumer.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import Engine, EngineConfig, PacketTrace
+from repro.classbench import generate_update_stream
+from repro.core.errors import ConfigError, PacketFormatError
+from repro.engine import ClassificationPipeline
+from repro.serve import iter_trace_file, iter_trace_segments
+
+
+def _thread_names() -> set[str]:
+    return {t.name for t in threading.enumerate()}
+
+
+@pytest.fixture()
+def update_schedule(acl_small, acl_small_trace):
+    return generate_update_stream(
+        acl_small, 24, acl_small_trace.n_packets, batch_size=6, seed=402
+    )
+
+
+# ---------------------------------------------------------------------------
+# Conformance: stream == classify == pipeline, across the matrix
+# ---------------------------------------------------------------------------
+class TestStreamConformance:
+    @pytest.mark.parametrize("backend", [
+        "linear", "tuple_space", "rfc", "hypercuts", "tcam",
+    ])
+    def test_stream_matches_classify_per_backend(
+        self, backend, acl_small, acl_small_trace
+    ):
+        config = EngineConfig(backend=backend, chunk_size=512)
+        with Engine.open(config, acl_small) as engine:
+            want = engine.classifier.classify_trace(acl_small_trace)
+            one_shot = engine.classify(acl_small_trace)
+            streamed = engine.classify_stream(
+                acl_small_trace, segment_packets=768  # deliberately odd
+            )
+        assert np.array_equal(one_shot.match, want)
+        assert np.array_equal(streamed.match, want)
+
+    @pytest.mark.parametrize(
+        ("shards", "persistent", "cache_entries"),
+        [(1, False, 0), (2, False, 0), (2, True, 0),
+         (2, False, 512), (2, True, 512)],
+    )
+    def test_stream_matches_pipeline_across_pool_modes(
+        self, shards, persistent, cache_entries, acl_small, acl_small_trace
+    ):
+        config = EngineConfig(
+            backend="hypercuts", chunk_size=256, shards=shards,
+            persistent=persistent, cache_entries=cache_entries,
+        )
+        with Engine.open(config, acl_small) as engine:
+            # The PR 4 surface, driven directly on the same classifier.
+            with ClassificationPipeline(
+                engine.classifier, chunk_size=256, shards=shards,
+                persistent=persistent,
+            ) as pipeline:
+                want = pipeline.run(acl_small_trace).match
+            streamed = engine.classify_stream(
+                acl_small_trace, segment_packets=512
+            )
+            one_shot = engine.classify(acl_small_trace)
+        assert np.array_equal(streamed.match, want)
+        assert np.array_equal(one_shot.match, want)
+
+    def test_unaligned_segments_still_identical_without_updates(
+        self, acl_small, acl_small_trace
+    ):
+        config = EngineConfig(backend="tuple_space", chunk_size=512)
+        with Engine.open(config, acl_small) as engine:
+            want = engine.classify(acl_small_trace).match
+            # Segment lengths deliberately coprime with the chunk size.
+            streamed = engine.classify_stream(
+                acl_small_trace, segment_packets=313
+            )
+        assert np.array_equal(streamed.match, want)
+        assert streamed.n_segments == -(-acl_small_trace.n_packets // 313)
+
+    def test_raw_header_arrays_accepted_as_segments(
+        self, acl_small, acl_small_trace
+    ):
+        config = EngineConfig(backend="linear", chunk_size=512)
+        headers = acl_small_trace.headers
+        with Engine.open(config, acl_small) as engine:
+            want = engine.classify(acl_small_trace).match
+            streamed = engine.classify_stream(
+                [headers[:700], headers[700:1200], headers[1200:]]
+            )
+        assert np.array_equal(streamed.match, want)
+
+
+class TestStreamWithUpdates:
+    @pytest.mark.parametrize(
+        ("backend", "shards", "persistent", "cache_entries"),
+        [
+            ("hicuts", 1, False, 0),
+            ("hicuts", 2, False, 0),
+            ("hicuts", 2, True, 0),
+            ("hicuts", 2, True, 256),
+            ("tuple_space", 1, False, 0),  # rebuild-adapted backend
+            ("tuple_space", 2, False, 256),
+        ],
+    )
+    def test_streamed_updates_identical_to_one_shot(
+        self, backend, shards, persistent, cache_entries,
+        acl_small, acl_small_trace, update_schedule,
+    ):
+        config = EngineConfig(
+            backend=backend, chunk_size=256, shards=shards,
+            persistent=persistent, cache_entries=cache_entries,
+            updatable=True,
+        )
+        with Engine.open(config, acl_small) as engine:
+            one_shot = engine.classify(
+                acl_small_trace, updates=update_schedule
+            )
+        with Engine.open(config, acl_small) as engine:
+            # Segment length a multiple of chunk_size: the streamed
+            # epoch boundaries then coincide with the one-shot ones.
+            streamed = engine.classify_stream(
+                acl_small_trace, updates=update_schedule,
+                segment_packets=512,
+            )
+        assert np.array_equal(streamed.match, one_shot.match)
+        assert streamed.final_epoch == one_shot.final_epoch
+        assert streamed.update_ops == one_shot.update_ops == 24
+
+    def test_updates_beyond_stream_end_apply_after(
+        self, acl_small, acl_small_trace, update_schedule
+    ):
+        from repro.core.updates import ScheduledUpdate
+
+        config = EngineConfig(
+            backend="hicuts", chunk_size=256, updatable=True
+        )
+        n = acl_small_trace.n_packets
+        late = [
+            ScheduledUpdate(n + 1000, upd.batch) for upd in update_schedule
+        ]
+        with Engine.open(config, acl_small) as engine:
+            report = engine.classify_stream(
+                acl_small_trace, updates=late, segment_packets=512
+            )
+            # Matches must equal the un-updated classifier's output...
+            fresh = Engine.build_classifier(config, acl_small)
+            assert np.array_equal(
+                report.match, fresh.classify_trace(acl_small_trace)
+            )
+            # ...but the session's ruleset version advanced afterwards.
+            assert engine.classifier.update_epoch == len(late)
+        assert report.final_epoch == len(late)
+
+    def test_tail_updates_do_not_erase_cache_telemetry(
+        self, acl_small, acl_small_trace, update_schedule
+    ):
+        # The zero-packet tail chunk carries no cache counters; merging
+        # it must not null out the telemetry of the real segments.
+        from repro.core.updates import ScheduledUpdate
+
+        config = EngineConfig(
+            backend="hicuts", chunk_size=256, updatable=True,
+            cache_entries=256,
+        )
+        n = acl_small_trace.n_packets
+        late = [ScheduledUpdate(n + 1, update_schedule[0].batch)]
+        with Engine.open(config, acl_small) as engine:
+            report = engine.classify_stream(
+                acl_small_trace, updates=late, segment_packets=512
+            )
+        assert report.cache_hits is not None
+        assert report.cache_hit_rate is not None
+        assert report.final_epoch == 1
+
+    def test_empty_segments_do_not_erase_cache_telemetry(
+        self, acl_small, acl_small_trace
+    ):
+        config = EngineConfig(backend="linear", cache_entries=256,
+                              chunk_size=512)
+        headers = acl_small_trace.headers
+        empty = headers[:0]
+        with Engine.open(config, acl_small) as engine:
+            report = engine.classify_stream(
+                [headers[:512], empty, headers[512:1024]]
+            )
+        assert report.n_packets == 1024
+        assert report.cache_hits is not None and report.cache_lookups == 1024
+
+    def test_update_latency_percentiles_populated(
+        self, acl_small, acl_small_trace, update_schedule
+    ):
+        config = EngineConfig(
+            backend="hicuts", chunk_size=256, updatable=True
+        )
+        with Engine.open(config, acl_small) as engine:
+            report = engine.classify(acl_small_trace, updates=update_schedule)
+        pct = report.update_latency
+        assert pct is not None
+        assert pct["batches"] == report.update_batches == 4
+        assert 0 < pct["p50_ms"] <= pct["p95_ms"] <= pct["p99_ms"]
+        assert pct["p99_ms"] <= pct["max_ms"]
+        assert report.to_dict()["update_latency"] == pct
+
+    def test_updates_on_non_updatable_backend_rejected(
+        self, acl_small, acl_small_trace, update_schedule
+    ):
+        config = EngineConfig(backend="linear", chunk_size=512)
+        with Engine.open(config, acl_small) as engine:
+            with pytest.raises(ConfigError, match="updatable"):
+                engine.stream(acl_small_trace, updates=update_schedule)
+
+
+# ---------------------------------------------------------------------------
+# Session behaviour: laziness, teardown, error relay
+# ---------------------------------------------------------------------------
+class TestSessionLifecycle:
+    def test_stream_is_lazy_and_early_exit_is_clean(
+        self, acl_small, acl_small_trace
+    ):
+        config = EngineConfig(backend="linear", chunk_size=512)
+        pulled = []
+
+        def segments():
+            for seg in iter_trace_segments(acl_small_trace, 256):
+                pulled.append(seg.n_packets)
+                yield seg
+
+        before = _thread_names()
+        with Engine.open(config, acl_small) as engine:
+            it = engine.stream(segments(), prefetch=1, ring_slots=1)
+            assert not pulled  # nothing runs until the first next()
+            first = next(it)
+            assert first.n_packets == 256 and first.start == 0
+            it.close()  # early exit: threads must unwind
+        for _ in range(100):
+            if _thread_names() <= before:
+                break
+            threading.Event().wait(0.05)
+        assert _thread_names() <= before
+        # Bounded prefetch: the generator was never drained to the end.
+        assert len(pulled) < acl_small_trace.n_packets // 256
+
+    def test_segment_source_error_reaches_consumer(
+        self, acl_small, acl_small_trace
+    ):
+        config = EngineConfig(backend="linear", chunk_size=512)
+
+        def broken():
+            yield PacketTrace(
+                acl_small_trace.headers[:256], acl_small_trace.schema
+            )
+            raise OSError("trace feed died")
+
+        with Engine.open(config, acl_small) as engine:
+            with pytest.raises(OSError, match="trace feed died"):
+                for _ in engine.stream(broken()):
+                    pass
+
+    def test_empty_segment_source_yields_no_chunks(self, acl_small):
+        config = EngineConfig(backend="linear", chunk_size=512)
+        with Engine.open(config, acl_small) as engine:
+            assert list(engine.stream(iter([]))) == []
+            report = engine.classify_stream(iter([]))
+        assert report.n_packets == 0 and report.n_segments == 0
+
+    def test_chunk_results_carry_stream_offsets(
+        self, acl_small, acl_small_trace
+    ):
+        config = EngineConfig(backend="linear", chunk_size=512)
+        with Engine.open(config, acl_small) as engine:
+            chunks = list(engine.stream(acl_small_trace, segment_packets=512))
+        starts = [c.start for c in chunks]
+        assert starts == list(range(0, acl_small_trace.n_packets, 512))
+        assert [c.index for c in chunks] == list(range(len(chunks)))
+        total = sum(c.n_packets for c in chunks)
+        assert total == acl_small_trace.n_packets
+
+    def test_merged_report_chunks_use_stream_coordinates(
+        self, acl_small, acl_small_trace
+    ):
+        # Per-segment ChunkStats are rebased when merged: indices run
+        # over the whole stream and starts are absolute offsets into
+        # the merged match array.
+        config = EngineConfig(backend="linear", chunk_size=256)
+        with Engine.open(config, acl_small) as engine:
+            report = engine.classify_stream(
+                acl_small_trace, segment_packets=512
+            )
+        assert [c.index for c in report.chunks] == list(
+            range(len(report.chunks))
+        )
+        assert [c.start for c in report.chunks] == list(
+            range(0, acl_small_trace.n_packets, 256)
+        )
+        assert report.n_chunks == len(report.chunks)
+
+    def test_bad_stream_knobs_rejected(self, acl_small, acl_small_trace):
+        config = EngineConfig(backend="linear")
+        with Engine.open(config, acl_small) as engine:
+            with pytest.raises(ConfigError, match="prefetch"):
+                engine.stream(acl_small_trace, prefetch=0)
+            with pytest.raises(ConfigError, match="ring_slots"):
+                engine.stream(acl_small_trace, ring_slots=0)
+        with pytest.raises(ConfigError, match="segment_packets"):
+            list(iter_trace_segments(acl_small_trace, 0))
+
+    def test_engine_accepts_dict_config_and_rejects_junk(self, acl_small):
+        with Engine.open(
+            {"backend": "linear", "chunk_size": 512}, acl_small
+        ) as engine:
+            assert engine.config == EngineConfig(
+                backend="linear", chunk_size=512
+            )
+        with pytest.raises(ConfigError, match="EngineConfig"):
+            Engine.open("linear", acl_small)
+
+    def test_transient_sharded_stream_borrows_then_restores_pool(
+        self, acl_small, acl_small_trace
+    ):
+        # A non-persistent sharded config streams on a stream-lifetime
+        # pool (one pre-threads fork, no per-segment forking from a
+        # threaded process) and restores transient mode afterwards.
+        config = EngineConfig(
+            backend="linear", chunk_size=256, shards=2, persistent=False
+        )
+        with Engine.open(config, acl_small) as engine:
+            want = engine.classify(acl_small_trace).match
+            chunks = list(engine.stream(acl_small_trace, segment_packets=512))
+            assert not engine.pipeline.persistent
+            assert not engine.pool_engaged
+            got = np.concatenate([c.match for c in chunks])
+            # The session still serves one-shot runs afterwards.
+            again = engine.classify(acl_small_trace).match
+        assert np.array_equal(got, want)
+        assert np.array_equal(again, want)
+
+    def test_persistent_pool_owned_by_session(self, acl_small, acl_small_trace):
+        config = EngineConfig(
+            backend="linear", chunk_size=256, shards=2, persistent=True
+        )
+        engine = Engine.open(config, acl_small)
+        try:
+            engine.classify(acl_small_trace)
+            engaged = engine.pool_engaged
+        finally:
+            engine.close()
+        assert not engine.pool_engaged
+        if ClassificationPipeline._fork_available():
+            assert engaged
+
+
+# ---------------------------------------------------------------------------
+# File-backed ingestion
+# ---------------------------------------------------------------------------
+class TestIterTraceFile:
+    def test_file_segments_match_memory_segments(
+        self, tmp_path, acl_small, acl_small_trace
+    ):
+        path = str(tmp_path / "trace.txt")
+        acl_small_trace.save(path)
+        segs = list(iter_trace_file(path, segment_packets=700))
+        got = np.concatenate([s.headers for s in segs])
+        assert np.array_equal(got, acl_small_trace.headers)
+        assert [s.n_packets for s in segs][:2] == [700, 700]
+
+    def test_streamed_file_identical_to_loaded_file(
+        self, tmp_path, acl_small, acl_small_trace
+    ):
+        path = str(tmp_path / "trace.txt")
+        acl_small_trace.save(path)
+        config = EngineConfig(backend="tuple_space", chunk_size=512)
+        with Engine.open(config, acl_small) as engine:
+            want = engine.classify(PacketTrace.load(path)).match
+            streamed = engine.classify_stream(
+                iter_trace_file(path, segment_packets=512)
+            )
+        assert np.array_equal(streamed.match, want)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\n1\t2\t3\t4\t5\t-1\n6\t7\t8\t9\t1\t-1\n")
+        segs = list(iter_trace_file(str(path), segment_packets=10))
+        assert sum(s.n_packets for s in segs) == 2
+        assert segs[0].headers[0].tolist() == [1, 2, 3, 4, 5]
+
+    def test_malformed_line_raises_packet_format_error(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("1\t2\t3\t4\t5\t-1\n1\t2\tbroken\n")
+        with pytest.raises(PacketFormatError):
+            list(iter_trace_file(str(path), segment_packets=10))
