@@ -16,6 +16,16 @@ Two enforcement tiers:
   of ratios are far less runner-sensitive than absolute pps, which is
   what makes a hard gate tenable here.
 
+A third check kind, **monotone** (:data:`MONOTONE_AXES`), looks only at
+the *current* results: a metric family recorded along an axis (e.g.
+``*_pipeline_pps`` along ``shards_1 -> shards_2 -> shards_4``) must be
+non-decreasing along that axis, up to ``--monotone-tolerance`` (default
+0.9 — each step may dip at most 10% below its predecessor before the
+run fails).  This is the "sharding must not make serving slower" gate:
+it catches the inverted-scaling shape no per-metric baseline ratio can
+see, because every point can individually beat its baseline while the
+axis still slopes downward.
+
 Usage::
 
     python benchmarks/compare_baseline.py BENCH_engine.json \
@@ -39,9 +49,19 @@ GATED_METRICS = frozenset({
     "flat_kernel_gate.speedup",
     "update_patch.speedup",
     "flowcache.effective_lookup_speedup",
+    "fused_lookup.speedup",
     "pipeline_pool.amortisation",
     "stream_overlap.end_to_end_speedup",
 })
+
+#: Metric families that must be non-decreasing along an ordered axis of
+#: the CURRENT results: (family key, ordered point keys).  Points absent
+#: from the results are skipped (a reduced bench run is not a failure);
+#: an inversion beyond the tolerance is.
+MONOTONE_AXES = (
+    ("flowcache_pipeline_pps", ("shards_1", "shards_2", "shards_4")),
+    ("persistent_pipeline_pps", ("shards_1", "shards_2", "shards_4")),
+)
 
 
 def _flatten(prefix: str, obj, out: dict) -> None:
@@ -63,8 +83,55 @@ def _lower_is_better(key: str) -> bool:
     )
 
 
+def check_monotone(
+    current: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Evaluate :data:`MONOTONE_AXES` against the current results.
+
+    Returns ``(report_lines, failures)``.  Each axis row shows the
+    recorded points in order; a step falling below ``tolerance`` times
+    its predecessor fails as ``monotone:<family>``.
+    """
+    cur: dict = {}
+    _flatten("", current, cur)
+    lines: list[str] = []
+    failures: list[str] = []
+    for family, points in MONOTONE_AXES:
+        series = [
+            (p, cur[f"{family}.{p}"])
+            for p in points
+            if f"{family}.{p}" in cur
+        ]
+        if len(series) < 2:
+            continue
+        broken = [
+            f"{prev_key} -> {key}"
+            for (prev_key, prev), (key, val) in zip(series, series[1:])
+            if val < tolerance * prev
+        ]
+        shown = ", ".join(f"{key}={val:,.0f}" for key, val in series)
+        if broken:
+            failures.append(f"monotone:{family}")
+            lines.append(
+                f"- :x: `{family}` must be non-decreasing along shards "
+                f"(tolerance {tolerance:.0%}): {shown} — inverted at "
+                f"{'; '.join(broken)}"
+            )
+        else:
+            lines.append(
+                f"- `{family}` non-decreasing along shards: {shown}"
+            )
+    if lines:
+        lines = ["", "### Monotone axes (current run)", ""] + lines
+    return lines, failures
+
+
 def compare(
-    current: dict, baseline: dict, threshold: float, fail_threshold: float
+    current: dict,
+    baseline: dict,
+    threshold: float,
+    fail_threshold: float,
+    monotone_tolerance: float = 0.9,
 ) -> tuple[str, list[str]]:
     """Markdown report plus the list of failed gated metrics."""
     cur, base = {}, {}
@@ -112,6 +179,9 @@ def compare(
     if only_base:
         lines += ["", f"Baseline metrics missing from this run: "
                       f"{', '.join(f'`{k}`' for k in only_base)}"]
+    mono_lines, mono_failures = check_monotone(current, monotone_tolerance)
+    lines += mono_lines
+    failures.extend(mono_failures)
     lines += [
         "",
         f"{len(shared)} shared metrics, {flagged} below the "
@@ -136,6 +206,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--fail-threshold", type=float, default=0.75,
                         help="ratio below which a GATED metric fails the "
                              "comparison")
+    parser.add_argument("--monotone-tolerance", type=float, default=0.9,
+                        help="noise allowance for the monotone shards "
+                             "axes: each step may fall to this fraction "
+                             "of its predecessor before failing")
     args = parser.parse_args(argv)
     try:
         with open(args.current, encoding="utf-8") as fh:
@@ -146,7 +220,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"baseline comparison skipped: {exc}", file=sys.stderr)
         return 0  # missing inputs stay non-fatal (fresh checkouts)
     report, failures = compare(
-        current, baseline, args.threshold, args.fail_threshold
+        current, baseline, args.threshold, args.fail_threshold,
+        monotone_tolerance=args.monotone_tolerance,
     )
     print(report)
     if failures:

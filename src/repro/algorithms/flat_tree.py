@@ -556,6 +556,63 @@ class FlatTree:
         )
 
     # ------------------------------------------------------------------
+    def batch_match(self, headers32: np.ndarray) -> np.ndarray:
+        """Match-only traversal: the fused-lookup hot path.
+
+        Same level-synchronous walk as :meth:`batch_lookup` but without
+        the statistics bookkeeping (``internal_nodes``, ``leaf_id``,
+        ``leaf_size``, ``match_pos``, ``rules_compared``) and without a
+        :class:`~repro.core.packet.PacketTrace` wrapper — it takes the
+        raw ``(n, ndim)`` uint32 header array a cache miss-set already
+        is.  Matches are bit-identical to ``batch_lookup(...).match``
+        (the fused-path conformance suite asserts it); use
+        :meth:`batch_lookup` when the occupancy/energy statistics are
+        needed.
+        """
+        headers32 = np.ascontiguousarray(headers32, dtype=np.uint32)
+        headers = headers32.astype(np.int64)  # traversal arithmetic
+        n = headers.shape[0]
+        match = np.full(n, -1, dtype=np.int64)
+        cur = np.zeros(n, dtype=np.int32)
+        active = np.arange(n, dtype=np.int64)
+        guard = 0
+        while active.size:
+            guard += 1
+            if guard > 10_000:
+                raise BuildError("batch traversal did not terminate")
+            nodes = cur[active].astype(np.int64)
+            at_leaf = self.kind[nodes] == LEAF
+            if at_leaf.any():
+                sel = active[at_leaf]
+                nids = nodes[at_leaf]
+                lens = self.leaf_len[nids]
+                nz = lens > 0
+                if nz.any():
+                    self._match_only(
+                        sel[nz], self.leaf_base[nids[nz]], lens[nz],
+                        self.leaf_rules, self.leaf_lo, self.leaf_span,
+                        headers32, match,
+                    )
+                cur[sel] = -2
+            internal = ~at_leaf
+            if internal.any():
+                sel = active[internal]
+                nids = nodes[internal]
+                if self.has_pushed:
+                    plen = self.push_len[nids]
+                    pm = plen > 0
+                    if pm.any():
+                        self._match_only(
+                            sel[pm], self.push_base[nids[pm]], plen[pm],
+                            self.push_rules, self.push_lo, self.push_span,
+                            headers32, match,
+                        )
+                child, dead = self._advance(sel, nids, headers)
+                cur[sel] = np.where(dead, np.int32(-2), child)
+            active = active[cur[active] >= 0]
+        return match
+
+    # ------------------------------------------------------------------
     def _advance(
         self, sel: np.ndarray, nids: np.ndarray, headers: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -658,6 +715,54 @@ class FlatTree:
         rules_compared[sel] += np.where(hit_m, first + 1, lens).astype(
             np.int32
         )
+        hit = sel[hit_m]
+        cand = rules_flat[base[hit_m] + first[hit_m]]
+        cur_best = match[hit]
+        better = (cur_best < 0) | (cand < cur_best)
+        match[hit[better]] = cand[better]
+
+    def _match_only(
+        self, sel: np.ndarray, base: np.ndarray, lens: np.ndarray,
+        rules_flat: np.ndarray, lo_tab: np.ndarray, span_tab: np.ndarray,
+        headers32: np.ndarray, match: np.ndarray,
+    ) -> None:
+        """:meth:`_match_lists` without the statistics side channels.
+
+        Identical pair expansion, lead-dimension prefilter, survivor
+        compaction and first-match reduction — but no ``rules_compared``
+        accumulation or ``match_pos`` scatter, so the fused hot path
+        skips two full-width gathers and scatters per level.  The match
+        outcome (including the priority compare-and-keep against pushed
+        rules seen higher up the path) is bit-identical.
+        """
+        starts = np.zeros(lens.size, dtype=np.int64)
+        np.cumsum(lens[:-1], out=starts[1:])
+        total = int(starts[-1] + lens[-1])
+        within = np.arange(total, dtype=np.int64) - np.repeat(starts, lens)
+        pos = np.repeat(base, lens) + within
+        ndim = self.schema.ndim
+        lead = min(2, ndim)
+        ok = np.ones(total, dtype=bool)
+        for d in range(lead):
+            v = np.repeat(headers32[sel, d], lens)
+            ok &= (v - lo_tab[d, pos]) <= span_tab[d, pos]
+        if lead < ndim:
+            alive = np.nonzero(ok)[0]
+            pair_pkt = np.repeat(
+                np.arange(sel.size, dtype=np.int64), lens
+            )[alive]
+            for d in range(lead, ndim):
+                va = headers32[sel, d][pair_pkt]
+                pa = pos[alive]
+                keep = (va - lo_tab[d, pa]) <= span_tab[d, pa]
+                alive = alive[keep]
+                pair_pkt = pair_pkt[keep]
+            score = np.full(total, _NO_HIT, dtype=np.int64)
+            score[alive] = within[alive]
+        else:
+            score = np.where(ok, within, _NO_HIT)
+        first = np.minimum.reduceat(score, starts)
+        hit_m = first < _NO_HIT
         hit = sel[hit_m]
         cand = rules_flat[base[hit_m] + first[hit_m]]
         cur_best = match[hit]

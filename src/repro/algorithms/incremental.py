@@ -159,6 +159,12 @@ class IncrementalClassifier:
             PacketTrace(headers, self._ruleset.schema)
         ).match
 
+    def fused_match(self, headers: np.ndarray) -> np.ndarray:
+        """Match-only lookup for the fused cache hot path.  ``flat``
+        flushes any pending kernel patch first, so the walk always sees
+        the current ruleset epoch."""
+        return self.tree.flat.batch_match(headers)
+
     def classify_trace(self, trace: PacketTrace) -> np.ndarray:
         return self.tree.batch_lookup(trace).match
 

@@ -42,6 +42,7 @@ from .core.packet import PacketTrace
 from .core.ruleset import RuleSet
 from .energy import CacheEnergyModel, UpdateCostModel, asic_model, fpga_model, ops_delta
 from .engine import CachedClassifier, available_backends, backend_spec
+from .engine.pipeline import SHARD_MODES
 from .engine.registry import registered_aliases
 from .hw import build_memory_image, figure5_trace
 from .serve import ENERGY_MODELS, Engine, EngineConfig, iter_trace_segments
@@ -242,6 +243,64 @@ def _print_update_report(clf, res) -> None:
           f"({break_even:,.0f} batches to break even)")
 
 
+def _profile_hot_path(clf, trace, chunk_size: int) -> dict | None:
+    """One extra single-process pass with per-stage wall-clock timing.
+
+    Stage seconds (cache probe, miss-set kernel traversal, result
+    scatter, cache fill) accumulate inside the classifier's ``profile``
+    hook across chunks; everything the stages do not account for —
+    chunk slicing, Python dispatch, stats assembly — is reported as
+    ``dispatch_s``.  Runs single-process on purpose: forked workers
+    would accumulate the stage times in their own address spaces.
+    """
+    from .engine.pipeline import ClassificationPipeline
+
+    if not isinstance(clf, CachedClassifier):
+        return None
+    clf.profile = {}
+    try:
+        res = ClassificationPipeline(clf, chunk_size=chunk_size).run(trace)
+        stages = dict(clf.profile)
+    finally:
+        clf.profile = None
+    stages["dispatch_s"] = max(0.0, res.elapsed_s - sum(stages.values()))
+    stages["total_s"] = res.elapsed_s
+    stages["fused"] = bool(
+        clf.fused and getattr(clf.classifier, "fused_match", None)
+    )
+    return stages
+
+
+def _merge_profile_artifact(stages: dict, path: str = "BENCH_engine.json"):
+    """Read-modify-write the bench artifact's ``profile`` section."""
+    import json
+    from pathlib import Path
+
+    artifact = Path(path)
+    data: dict = {}
+    if artifact.exists():
+        try:
+            data = json.loads(artifact.read_text())
+        except ValueError:
+            data = {}
+    data["profile"] = stages
+    artifact.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return artifact
+
+
+def _print_profile(stages: dict, artifact) -> None:
+    total = stages.get("total_s") or 0.0
+    print(f"hot-path profile ({'fused' if stages.get('fused') else 'unfused'}"
+          f" lookup, single process):")
+    for key in ("dispatch_s", "probe_s", "traverse_s", "scatter_s", "fill_s"):
+        if key not in stages:
+            continue
+        seconds = stages[key]
+        share = 100.0 * seconds / total if total else 0.0
+        print(f"  {key[:-2]:>9s}: {seconds * 1e3:8.2f} ms ({share:4.1f}%)")
+    print(f"  merged into {artifact}")
+
+
 def cmd_bench(args) -> int:
     rs = _load_or_generate(args)
     trace = _load_or_generate_trace(args, rs)
@@ -288,6 +347,15 @@ def cmd_bench(args) -> int:
         # The persistent pool is forked lazily on first use, so its
         # existence after the runs says whether the mode engaged.
         pool_mode = "persistent" if engine.pool_engaged else "per-run"
+        profile_stages = None
+        if args.profile:
+            profile_stages = _profile_hot_path(clf, trace, args.chunk_size)
+            if profile_stages is None:
+                print(
+                    "warning: --profile needs a flow-cached engine "
+                    "(--cache-entries); skipping",
+                    file=sys.stderr,
+                )
     print(f"backend: {res.backend}  shards: {res.n_shards}  "
           f"chunk: {res.chunk_size} packets  chunks: {res.n_chunks}  "
           f"pool: {pool_mode}")
@@ -300,6 +368,17 @@ def cmd_bench(args) -> int:
     if res.cache_hits is not None and isinstance(clf, CachedClassifier):
         _print_cache_report(
             clf, res.cache_hits, res.cache_misses, res.cache_evictions
+        )
+        shard_stats = res.shard_cache_stats()
+        if shard_stats and len(shard_stats) > 1:
+            for d in shard_stats:
+                print(f"  shard {d['shard']}: {d['chunks']} chunks, "
+                      f"hit rate {100 * d['hit_rate']:.1f}% "
+                      f"({d['hits']}/{d['hits'] + d['misses']}), "
+                      f"{d['evictions']} evictions")
+    if profile_stages is not None:
+        _print_profile(
+            profile_stages, _merge_profile_artifact(profile_stages)
         )
     mo = res.mean_occupancy()
     if mo is not None and res.device_throughput_pps is not None:
@@ -410,6 +489,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker shards (fork-based; 1 = single process)")
     n.add_argument("--chunk-size", type=int, default=4096,
                    help="packets per streamed chunk")
+    n.add_argument("--shard-mode", default=None, choices=list(SHARD_MODES),
+                   help="worker tier: auto forks only when the clamped "
+                        "worker count can win, processes always forks, "
+                        "threads runs shard-affine in-process workers "
+                        "(default: auto)")
+    n.add_argument("--min-chunk-packets", type=int, default=None,
+                   metavar="N",
+                   help="coalesce dispatches on update-free runs to at "
+                        "least N packets each (0 disables; default 65536)")
+    n.add_argument("--profile", action="store_true",
+                   help="run one extra single-process pass with per-stage "
+                        "timing (dispatch/probe/traverse/scatter+fill) and "
+                        "merge the breakdown into BENCH_engine.json "
+                        "(needs --cache-entries)")
     n.add_argument("--persistent", action="store_true",
                    help="reuse one forked worker pool across runs with "
                         "shared-memory results (see --repeats)")

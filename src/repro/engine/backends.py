@@ -77,6 +77,13 @@ class DecisionTreeClassifier(ClassifierBase):
     def classify_batch(self, headers: np.ndarray) -> np.ndarray:
         return self.tree.batch_lookup(PacketTrace(headers, self.schema)).match
 
+    def fused_match(self, headers: np.ndarray) -> np.ndarray:
+        """Match-only lookup for the fused cache hot path: the lean
+        :meth:`~repro.algorithms.flat_tree.FlatTree.batch_match` kernel,
+        with no trace wrapper and no statistics bookkeeping.  Results
+        are bit-identical to :meth:`classify_batch`."""
+        return self.tree.flat.batch_match(headers)
+
     def memory_bytes(self) -> int:
         return self.tree.software_memory_bytes()
 

@@ -47,6 +47,7 @@ from the updated (and freshly invalidated) state.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -229,6 +230,26 @@ class FlowCache:
         self._filled[s, way] = self._tick
         self._tick += np.int64(1)
 
+    def warm(self, headers: np.ndarray, results: np.ndarray) -> None:
+        """Pre-fill from the (header, result) pairs of a finished run.
+
+        Takes the most recent distinct flows (bounded to a few multiples
+        of the cache capacity, so warming a long trace stays O(cache)),
+        deduplicates them and fills normally — the next run starts warm
+        instead of cold.  Lookup/hit/miss counters are untouched: a warm
+        is bookkeeping between runs, not serving traffic.
+        """
+        n = headers.shape[0]
+        if not self.enabled or not n:
+            return
+        tail = min(n, 4 * self.entries)
+        uniq, idx = np.unique(
+            headers[n - tail:], axis=0, return_index=True
+        )
+        self.fill(
+            uniq, np.asarray(results[n - tail:], dtype=np.int64)[idx]
+        )
+
     def invalidate(self) -> None:
         """Eagerly drop every entry; counters are kept.
 
@@ -284,6 +305,7 @@ class CachedClassifier(ClassifierBase):
         entries: int = 4096,
         ways: int = 4,
         max_age: int = 0,
+        fused: bool = True,
     ) -> None:
         self.classifier = classifier
         self.cache = FlowCache(entries, ways=ways, max_age=max_age)
@@ -292,17 +314,66 @@ class CachedClassifier(ClassifierBase):
         schema = getattr(classifier, "schema", None)
         if schema is not None:
             self.schema = schema
+        #: Serve misses through the backend's ``fused_match`` hook (the
+        #: lean match-only kernel) when it offers one.  ``fused=False``
+        #: is the escape hatch back to the generic probe-then-traverse
+        #: path; both produce bit-identical matches and cache state.
+        self.fused = fused
+        #: Per-stage wall-clock accumulator for ``bench --profile``:
+        #: assign a dict and the hot path adds ``probe_s`` /
+        #: ``traverse_s`` / ``scatter_s`` / ``fill_s`` into it.  ``None``
+        #: (the default) keeps the hot path timer-free.
+        self.profile: dict | None = None
         #: Whether the wrapped backend models per-packet occupancy;
         #: learned on the first backend call so all-hit chunks still
         #: report a consistent occupancy shape.
         self._models_occupancy: bool | None = None
 
     # ------------------------------------------------------------------
+    def clone(self) -> "CachedClassifier":
+        """A new wrapper around the *same* backend with a private, cold
+        cache — the per-shard cache layout for the thread-pool tier."""
+        return CachedClassifier(
+            self.classifier,
+            entries=self.cache.entries,
+            ways=self.cache.ways,
+            max_age=self.cache.max_age,
+            fused=self.fused,
+        )
+
+    # ------------------------------------------------------------------
     def classify_batch(self, headers: np.ndarray) -> np.ndarray:
         return self.batch_stats(headers).match
 
+    def classify_fused(self, headers: np.ndarray) -> np.ndarray:
+        """The fused probe→walk→scatter→fill pipeline, explicitly.
+
+        Requires a backend exposing ``fused_match`` (the tree-backed
+        classifiers); raises :class:`~repro.core.errors.ConfigError`
+        otherwise, where :meth:`batch_stats` would silently fall back.
+        """
+        fused_fn = getattr(self.classifier, "fused_match", None)
+        if not callable(fused_fn):
+            raise ConfigError(
+                f"backend {getattr(self.classifier, 'backend_name', '?')!r} "
+                "has no fused_match kernel; use classify_batch for the "
+                "generic probe-then-traverse path"
+            )
+        return self._serve_batch(
+            np.ascontiguousarray(headers, dtype=np.uint32), fused_fn
+        ).match
+
     def batch_stats(self, headers: np.ndarray) -> BatchStats:
         headers = np.ascontiguousarray(headers, dtype=np.uint32)
+        fused_fn = (
+            getattr(self.classifier, "fused_match", None)
+            if self.fused else None
+        )
+        return self._serve_batch(
+            headers, fused_fn if callable(fused_fn) else None
+        )
+
+    def _serve_batch(self, headers: np.ndarray, fused_fn) -> BatchStats:
         n = headers.shape[0]
         cache = self.cache
         if n == 0 or not cache.enabled:
@@ -315,23 +386,70 @@ class CachedClassifier(ClassifierBase):
                 cache_misses=n,
                 cache_evictions=0,
             )
+        prof = self.profile
+        t0 = time.perf_counter() if prof is not None else 0.0
         evictions_before = cache.stats.evictions
         hit, match = cache.probe(headers)
         miss_rows = np.nonzero(~hit)[0]
+        if prof is not None:
+            t1 = time.perf_counter()
+            prof["probe_s"] = prof.get("probe_s", 0.0) + (t1 - t0)
+            t0 = t1
         occupancy = None
         if miss_rows.size:
+            # Deduplicate the misses (identical eviction/fill order in
+            # the fused and unfused paths — ``np.unique`` fixes it).
             uniq, inverse = np.unique(
                 headers[miss_rows], axis=0, return_inverse=True
             )
             inverse = inverse.reshape(-1)
-            inner = batch_stats_of(self.classifier, uniq)
-            self._models_occupancy = inner.occupancy is not None
-            match[miss_rows] = inner.match[inverse]
-            cache.fill(uniq, np.asarray(inner.match, dtype=np.int64))
             n_backend = uniq.shape[0]
-            if inner.occupancy is not None:
-                occupancy = np.full(n, HIT_OCCUPANCY_CYCLES, np.int64)
-                occupancy[miss_rows] = inner.occupancy[inverse]
+            if fused_fn is not None:
+                # Fused hot path: one lean match-only walk over the
+                # deduplicated misses, no trace wrapper, no stats
+                # arrays.  Tree backends never model occupancy.
+                inner_match = np.asarray(fused_fn(uniq), dtype=np.int64)
+                self._models_occupancy = False
+                if prof is not None:
+                    t1 = time.perf_counter()
+                    prof["traverse_s"] = (
+                        prof.get("traverse_s", 0.0) + (t1 - t0)
+                    )
+                    t0 = t1
+                match[miss_rows] = inner_match[inverse]
+                if prof is not None:
+                    t1 = time.perf_counter()
+                    prof["scatter_s"] = (
+                        prof.get("scatter_s", 0.0) + (t1 - t0)
+                    )
+                    t0 = t1
+                cache.fill(uniq, inner_match)
+                if prof is not None:
+                    t1 = time.perf_counter()
+                    prof["fill_s"] = prof.get("fill_s", 0.0) + (t1 - t0)
+            else:
+                inner = batch_stats_of(self.classifier, uniq)
+                self._models_occupancy = inner.occupancy is not None
+                if prof is not None:
+                    t1 = time.perf_counter()
+                    prof["traverse_s"] = (
+                        prof.get("traverse_s", 0.0) + (t1 - t0)
+                    )
+                    t0 = t1
+                match[miss_rows] = inner.match[inverse]
+                if inner.occupancy is not None:
+                    occupancy = np.full(n, HIT_OCCUPANCY_CYCLES, np.int64)
+                    occupancy[miss_rows] = inner.occupancy[inverse]
+                if prof is not None:
+                    t1 = time.perf_counter()
+                    prof["scatter_s"] = (
+                        prof.get("scatter_s", 0.0) + (t1 - t0)
+                    )
+                    t0 = t1
+                cache.fill(uniq, np.asarray(inner.match, dtype=np.int64))
+                if prof is not None:
+                    t1 = time.perf_counter()
+                    prof["fill_s"] = prof.get("fill_s", 0.0) + (t1 - t0)
         else:
             n_backend = 0
             if self._models_occupancy:
@@ -346,6 +464,17 @@ class CachedClassifier(ClassifierBase):
             cache_hits=hits,
             cache_misses=n_backend,
             cache_evictions=cache.stats.evictions - evictions_before,
+        )
+
+    # ------------------------------------------------------------------
+    def warm_from_run(
+        self, headers: np.ndarray, match: np.ndarray
+    ) -> None:
+        """Pre-warm this process's cache from a finished run's results
+        (the pipeline calls it after forked runs, whose per-shard fills
+        happened in worker processes and never reached this copy)."""
+        self.cache.warm(
+            np.ascontiguousarray(headers, dtype=np.uint32), match
         )
 
     # ------------------------------------------------------------------

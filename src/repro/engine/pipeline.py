@@ -14,23 +14,49 @@ out over N worker shards, and aggregates per-chunk statistics into one
 * wall-clock throughput of the *simulation itself* is reported so the
   benchmark suite can track the serving path.
 
-Sharding uses ``fork``-based multiprocessing when the platform offers it
-(the built classifier and the trace are inherited copy-on-write, so
-nothing large is pickled); elsewhere — or with ``shards=1`` — it falls
-back to chunked single-process streaming with identical results.
+**Shard modes.**  ``shard_mode`` selects the worker tier:
 
-Two fork modes exist:
+* ``"processes"`` (the default for direct construction) — ``fork``-based
+  multiprocessing whenever ``shards > 1`` and the platform offers it.
+  The built classifier is inherited copy-on-write, so nothing large is
+  pickled.
+* ``"auto"`` (the :class:`~repro.serve.EngineConfig` default) — fork
+  only when it can actually win: the worker count after clamping to CPU
+  and chunk counts must be >= 2, otherwise the single-process path
+  serves the trace with identical results.  On a 1-CPU host this is
+  what keeps the shards axis from *inverting* — a 1-worker fork pool
+  pays fork + IPC for zero parallelism.
+* ``"threads"`` — a thread pool running the NumPy kernels (which release
+  the GIL in their hot loops) in-process: no fork, no IPC, per-shard
+  flow-cache clones that stay warm across runs.  Chunks are assigned
+  round-robin to shard-affine workers, so each shard sees its chunks in
+  order exactly like a process shard would.
+
+Two fork pool modes exist (``shard_mode in ("auto", "processes")``):
 
 * *transient* (default) — a fresh pool per ``run()``; the classifier and
   the trace are inherited copy-on-write, chunk results come back pickled
   through the pool;
 * *persistent* (``persistent=True``) — one pool is forked on first use
   and reused across ``run()`` calls, amortising fork + warm-up cost over
-  a serving session.  Per run, the trace is published to the workers
-  through ``multiprocessing.shared_memory`` and each worker writes its
-  match/occupancy slice straight into shared output buffers — the only
-  pickled traffic is per-chunk scalars, i.e. a zero-copy result path.
-  Results are bit-identical to the other modes at every shard count.
+  a serving session.  The trace travels through a **pipeline-lifetime
+  shared-memory arena**: input/match/occupancy segments are created once
+  (with growth slack) and reused across runs, the trace is written once
+  into the input segment, and each task ships only a ``(names, bounds,
+  pending)`` descriptor.  Workers cache their segment attachments by
+  name — an attach happens only when the arena grows — and scatter
+  their match/occupancy slices straight into the shared output buffers,
+  so steady-state per-chunk traffic is one tiny descriptor and one tiny
+  scalar tuple.  Results are bit-identical to the other modes at every
+  shard count.
+
+**Dispatch auto-tuning.**  ``min_chunk_packets`` coalesces chunks until
+each dispatch carries at least that many packets (the engine default
+targets >= 64k packets/dispatch), amortising per-chunk Python and IPC
+cost; it applies only to runs *without* updates, because the chunk grid
+is the epoch grid.  Independently, a final chunk smaller than a quarter
+of the chunk size is merged into its predecessor — a tiny tail pays
+full dispatch cost otherwise.
 
 **Live rule updates.**  ``run(trace, updates=[...])`` interleaves a
 :class:`~repro.core.updates.ScheduledUpdate` stream with classification:
@@ -41,10 +67,11 @@ ruleset version (its chunk's epoch — recorded on
 the same batches in the same deterministic order before touching a
 chunk from a later epoch (each task carries the update prefix it
 requires; a per-process watermark makes re-application a no-op), and
-the parent catches its own copy up after the run, so transient pools,
-persistent pools and the single-process fallback all produce identical
-matches — the differential update-conformance suite replays all of them
-against a per-epoch linear-search oracle.
+the parent catches its own copy up after the run; the thread tier
+applies each batch exactly once at its chunk boundary (a barrier drains
+in-flight chunks first).  All modes produce identical matches — the
+differential update-conformance suite replays them against a per-epoch
+linear-search oracle.
 """
 
 from __future__ import annotations
@@ -65,6 +92,17 @@ from .protocol import BatchStats, Classifier, batch_stats_of, warm_batch_state
 #: small enough that per-chunk stats stay meaningful for live reporting.
 DEFAULT_CHUNK_SIZE = 4096
 
+#: The worker tiers ``shard_mode`` accepts.
+SHARD_MODES = ("auto", "processes", "threads")
+
+#: The engine-level dispatch target: coalesce chunks until each dispatch
+#: carries at least this many packets (runs without updates only).
+DEFAULT_MIN_CHUNK_PACKETS = 65536
+
+#: A final chunk smaller than ``chunk_size / TAIL_MERGE_DIVISOR`` is
+#: merged into its predecessor instead of paying full dispatch cost.
+TAIL_MERGE_DIVISOR = 4
+
 #: Persistent-pool update-log watermark: once this many batches have
 #: accumulated for one pool's lifetime, the pool is re-forked (from the
 #: caught-up parent) instead of shipping an ever-growing prefix with
@@ -74,7 +112,7 @@ POOL_LOG_MAX_BATCHES = 64
 #: Module global holding (classifier, headers) across a ``fork`` so
 #: worker shards inherit them copy-on-write instead of via pickling.
 #: ``headers`` is ``None`` for persistent pools (the trace then arrives
-#: through shared memory instead).
+#: through the shared-memory arena).
 _SHARD_STATE: tuple[Classifier, np.ndarray | None] | None = None
 
 #: Per-process watermark of the last applied update-batch sequence
@@ -84,15 +122,24 @@ _SHARD_STATE: tuple[Classifier, np.ndarray | None] | None = None
 #: in sequence order.
 _WORKER_SEQ = 0
 
+#: Per-worker cache of shared-memory arena attachments, keyed by the
+#: segment-name tuple.  The parent's arena is pipeline-lifetime, so in
+#: steady state a worker attaches once and reuses the mapped segments
+#: for every later chunk; a name change (the arena grew) swaps them.
+_ARENA_ATTACH: dict = {"names": None, "segs": ()}
+
 #: One update batch as shipped to workers: (sequence number, ops).
 PendingUpdate = tuple[int, tuple[RuleUpdate, ...]]
 
 #: One processed chunk: (match, occupancy | None,
-#: (hits, misses, evictions) | None).  The cache triple is present only
-#: when the classifier is a flow-cached front-end (see
-#: :mod:`repro.engine.flowcache`).
+#: (hits, misses, evictions) | None, shard label).  The cache triple is
+#: present only when the classifier is a flow-cached front-end (see
+#: :mod:`repro.engine.flowcache`).  The shard label identifies which
+#: worker served the chunk (a pid in the fork tiers, a thread index in
+#: the thread tier, 0 single-process); the aggregator densifies labels
+#: into 0-based shard ids.
 ChunkOutput = tuple[
-    np.ndarray, np.ndarray | None, tuple[int, int, int] | None
+    np.ndarray, np.ndarray | None, tuple[int, int, int] | None, int
 ]
 
 
@@ -126,61 +173,88 @@ def _run_chunk(task) -> ChunkOutput:
     classifier, headers = _SHARD_STATE
     if pending:
         _apply_pending(classifier, pending)
-    return _run_chunk_local(classifier, headers, bounds)
+    match, occ, cache = _run_chunk_local(classifier, headers, bounds)
+    return match, occ, cache, os.getpid()
 
 
-def _run_chunk_shm(task) -> tuple[bool, tuple[int, int, int] | None]:
-    """Persistent-pool worker: classify one chunk, write results into the
-    shared output buffers, return only whether occupancy was modelled
-    plus the chunk's flow-cache hit/miss pair (the parent aggregates
-    everything else from the shared arrays).
+def _attach_arena(names: tuple[str, str, str]):
+    """Return this worker's mapped arena segments, (re)attaching only
+    when the segment names changed (the parent grew the arena).
 
-    Segments are attached per task and closed before returning, so an
-    idle worker never pins a previous run's (parent-unlinked) segments;
-    an attach is a ``shm_open`` + ``mmap``, microseconds next to a
-    chunk's classification.  Attaching re-registers the name with the
-    resource tracker, but the workers are forked *after* the parent has
-    started the tracker (see ``ClassificationPipeline._ensure_pool``),
-    so parent and workers share one tracker process and the duplicate
-    registration is a set no-op — the parent's unlink after each run
-    remains the single owner of the segment lifecycle.
+    Attaching re-registers the name with the resource tracker, but the
+    workers are forked *after* the parent has started the tracker (see
+    ``ClassificationPipeline._ensure_pool``), so parent and workers
+    share one tracker process and the duplicate registration is a set
+    no-op — the parent's unlink (on arena growth or ``close()``) remains
+    the single owner of the segment lifecycle.
     """
-    from multiprocessing import shared_memory
+    global _ARENA_ATTACH
+    if _ARENA_ATTACH["names"] != names:
+        from multiprocessing import shared_memory
 
-    in_name, shape, dtype, out_name, occ_name, bounds, pending = task
+        for shm in _ARENA_ATTACH["segs"]:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - stale views
+                pass
+        segs = tuple(shared_memory.SharedMemory(name=n) for n in names)
+        _ARENA_ATTACH = {"names": names, "segs": segs}
+    return _ARENA_ATTACH["segs"]
+
+
+def _run_chunk_shm(task) -> tuple[bool, tuple[int, int, int] | None, int]:
+    """Persistent-pool worker: classify one chunk, write results into the
+    shared arena, return only whether occupancy was modelled plus the
+    chunk's flow-cache triple and this worker's shard label (the parent
+    aggregates everything else from the shared arrays).
+
+    The task is a tiny descriptor — segment names, the trace shape, the
+    chunk bounds and the update prefix.  In steady state (arena
+    unchanged since the last run) the worker's cached attachment is
+    reused, so no ``shm_open``/``mmap`` happens at all; the headers and
+    output views are zero-copy windows into the shared segments.
+    """
+    names, shape, dtype, bounds, pending = task
     assert _SHARD_STATE is not None
     classifier = _SHARD_STATE[0]
     if pending:
         _apply_pending(classifier, pending)
+    segs = _attach_arena(names)
     n = shape[0]
     start, end = bounds
-    segments = []
+    headers = np.ndarray(shape, dtype=dtype, buffer=segs[0].buf)
+    match, occ, cache = _run_chunk_local(classifier, headers, bounds)
+    has_occ = occ is not None
+    np.ndarray((n,), np.int64, buffer=segs[1].buf)[start:end] = match
+    if has_occ:
+        np.ndarray((n,), np.int64, buffer=segs[2].buf)[start:end] = occ
+    # Views die with this frame; the cached segments stay mapped.
+    del headers, match, occ
+    return has_occ, cache, os.getpid()
 
-    def _attach(name: str):
-        shm = shared_memory.SharedMemory(name=name)
-        segments.append(shm)
-        return shm
 
-    try:
-        headers = np.ndarray(shape, dtype=dtype, buffer=_attach(in_name).buf)
-        match, occ, cache = _run_chunk_local(classifier, headers, bounds)
-        has_occ = occ is not None
-        np.ndarray((n,), np.int64, buffer=_attach(out_name).buf)[
-            start:end
-        ] = match
-        if has_occ:
-            np.ndarray((n,), np.int64, buffer=_attach(occ_name).buf)[
-                start:end
-            ] = occ
-        # Drop the ndarray views before closing their backing segments.
-        del headers, match, occ
-    finally:
-        for shm in segments:
-            try:
-                shm.close()
-            except BufferError:  # pragma: no cover - error-path views
-                pass  # the view dies with this task's frame anyway
-    return has_occ, cache
+def aggregate_shard_cache_stats(chunks) -> list[dict]:
+    """Fold per-chunk flow-cache counters into per-shard accounting:
+    one dict per shard with the chunks it served, its hit/miss/eviction
+    totals and its hit rate.  Shared by :class:`PipelineResult` and
+    :class:`~repro.serve.EngineReport`."""
+    acc: dict[int, dict] = {}
+    for c in chunks:
+        if c.cache_hits is None:
+            continue
+        d = acc.setdefault(c.shard, {
+            "shard": c.shard, "chunks": 0, "hits": 0,
+            "misses": 0, "evictions": 0,
+        })
+        d["chunks"] += 1
+        d["hits"] += c.cache_hits
+        d["misses"] += c.cache_misses
+        d["evictions"] += c.cache_evictions or 0
+    out = [acc[k] for k in sorted(acc)]
+    for d in out:
+        lookups = d["hits"] + d["misses"]
+        d["hit_rate"] = d["hits"] / lookups if lookups else 0.0
+    return out
 
 
 @dataclass(frozen=True)
@@ -192,7 +266,9 @@ class ChunkStats:
     backends.  ``epoch`` is the ruleset version every packet of this
     chunk was classified against (``None`` when the backend is not
     updatable); ``updates_applied`` counts the update *operations* that
-    took effect immediately before this chunk.
+    took effect immediately before this chunk.  ``shard`` is the
+    0-based id of the worker that served the chunk (0 single-process;
+    ids are densified in first-served order across the run).
     """
 
     index: int
@@ -205,6 +281,7 @@ class ChunkStats:
     cache_evictions: int | None = None
     epoch: int | None = None
     updates_applied: int = 0
+    shard: int = 0
 
     @property
     def matched_fraction(self) -> float:
@@ -215,10 +292,11 @@ class ChunkStats:
 class PipelineResult:
     """Trace-order matches plus aggregated serving statistics.
 
-    ``n_shards`` is the number of worker processes that *actually ran*:
-    1 whenever the single-process fallback served the trace (no ``fork``
-    on the platform, a single chunk, or ``shards=1``), else the forked
-    pool size after clamping to chunk and CPU counts.
+    ``n_shards`` is the number of workers that *actually ran*: 1
+    whenever the single-process fallback served the trace (no ``fork``
+    on the platform, a single chunk, ``shards=1``, or ``shard_mode=
+    "auto"`` declining a fork that could not win), else the worker count
+    after clamping to chunk and CPU counts.
     """
 
     match: np.ndarray
@@ -279,6 +357,19 @@ class PipelineResult:
             return None
         return self.cache_hits / lookups if lookups else 0.0
 
+    def shard_cache_stats(self) -> list[dict] | None:
+        """Per-shard flow-cache accounting, from the per-chunk counters.
+
+        Each entry reports one shard's chunks served, hits, misses,
+        evictions and hit rate — the per-shard view the aggregate
+        ``cache_hit_rate`` flattens (shard caches are private, so their
+        hit rates genuinely differ under skew).  ``None`` on bare
+        backends.
+        """
+        if self.cache_hits is None:
+            return None
+        return aggregate_shard_cache_stats(self.chunks)
+
     # -- hardware cost aggregation (accelerator-backed pipelines) -------
     def mean_occupancy(self) -> float | None:
         """Mean memory-port cycles per packet, when the backend models it."""
@@ -300,11 +391,18 @@ class PipelineResult:
 class ClassificationPipeline:
     """Stream traces through a classifier in chunks across N shards.
 
+    ``shard_mode`` picks the worker tier (see the module docstring):
+    ``"processes"`` forces fork-based sharding whenever ``shards > 1``
+    (the historical behaviour, and the right mode for conformance tests
+    that must exercise the fork transport), ``"auto"`` forks only when
+    the clamped worker count can win, ``"threads"`` runs shard-affine
+    workers in a thread pool with per-shard flow-cache clones.
+
     With ``persistent=True`` the forked worker pool survives across
-    ``run()`` calls (create once, serve many traces) and chunk results
-    travel through shared memory instead of pickles.  Use
-    :meth:`close` — or the pipeline as a context manager — to tear the
-    pool down deterministically.
+    ``run()`` calls (create once, serve many traces) and traces/results
+    travel through a pipeline-lifetime shared-memory arena instead of
+    pickles.  Use :meth:`close` — or the pipeline as a context manager —
+    to tear the pool (and arena) down deterministically.
 
     Rule updates belong *inside* ``run(trace, updates=...)``: the update
     stream is applied with deterministic epoch semantics in every pool
@@ -316,7 +414,8 @@ class ClassificationPipeline:
     classifier directly (e.g. ``IncrementalClassifier.insert`` between
     runs) does not reach them — call :meth:`close` after such a
     mutation and the next ``run()`` forks a fresh pool.  (Transient
-    mode re-forks per run and needs no such step.)
+    mode re-forks per run and needs no such step; the thread tier
+    shares the live classifier and tracks its ``update_epoch``.)
     """
 
     def __init__(
@@ -326,17 +425,39 @@ class ClassificationPipeline:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         shards: int = 1,
         persistent: bool = False,
+        shard_mode: str = "processes",
+        min_chunk_packets: int = 0,
     ) -> None:
         if chunk_size < 1:
             raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
         if shards < 1:
             raise ConfigError(f"shards must be >= 1, got {shards}")
+        if shard_mode not in SHARD_MODES:
+            raise ConfigError(
+                f"unknown shard_mode {shard_mode!r}; "
+                f"expected one of {', '.join(SHARD_MODES)}"
+            )
+        if min_chunk_packets < 0:
+            raise ConfigError(
+                f"min_chunk_packets must be >= 0, got {min_chunk_packets}"
+            )
         self.classifier = classifier
         self.chunk_size = chunk_size
         self.shards = shards
         self.persistent = persistent
+        self.shard_mode = shard_mode
+        self.min_chunk_packets = min_chunk_packets
         self._pool = None
         self._pool_size = 0
+        #: Pipeline-lifetime shared-memory arena for the persistent
+        #: pool: ``{"names": (in, out, occ), "segs": [...]}``, grown
+        #: (re-created larger) only when a trace outsizes it.
+        self._arena: dict | None = None
+        #: Thread-tier per-shard flow-cache clones, persisted across
+        #: runs so shard caches stay warm, plus the backend epoch they
+        #: were last synchronised against.
+        self._thread_clones: list = []
+        self._thread_epoch = 0
         #: Monotonic allocator for update-batch sequence numbers and the
         #: parent process's applied-batch watermark.
         self._update_seq = 0
@@ -349,12 +470,14 @@ class ClassificationPipeline:
 
     # -- persistent-pool lifecycle --------------------------------------
     def close(self) -> None:
-        """Tear down the persistent worker pool (no-op otherwise)."""
+        """Tear down the persistent worker pool and its shared-memory
+        arena (no-op otherwise)."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
             self._pool_size = 0
+        self._release_arena()
         self._pool_log.clear()
 
     def __enter__(self) -> "ClassificationPipeline":
@@ -380,7 +503,7 @@ class ClassificationPipeline:
                 # Start the resource tracker *before* forking: the
                 # workers then share the parent's tracker process, which
                 # keeps shared-memory bookkeeping single-owner (see
-                # ``_attach_shm``).
+                # ``_attach_arena``).
                 from multiprocessing import resource_tracker
 
                 resource_tracker.ensure_running()
@@ -403,12 +526,71 @@ class ClassificationPipeline:
                 _SHARD_STATE = None
         return self._pool
 
+    # -- shared-memory arena (persistent pool transport) ----------------
+    def _release_arena(self) -> None:
+        if self._arena is not None:
+            for shm in self._arena["segs"]:
+                try:
+                    shm.close()
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - raced
+                    pass
+            self._arena = None
+
+    def _ensure_arena(self, headers: np.ndarray) -> dict:
+        """Return an arena large enough for ``headers``; grow (re-create
+        with 25% slack and fresh names) only when the trace outsizes the
+        current one.  Workers notice the new names on their next task
+        and swap attachments; the old (unlinked) segments free once the
+        last attachment drops."""
+        need_in = max(1, headers.nbytes)
+        need_out = max(1, headers.shape[0] * 8)
+        a = self._arena
+        if (
+            a is None
+            or a["segs"][0].size < need_in
+            or a["segs"][1].size < need_out
+        ):
+            from multiprocessing import shared_memory
+
+            self._release_arena()
+            segs = [
+                shared_memory.SharedMemory(
+                    create=True, size=size + size // 4
+                )
+                for size in (need_in, need_out, need_out)
+            ]
+            a = {"names": tuple(s.name for s in segs), "segs": segs}
+            self._arena = a
+        return a
+
     # ------------------------------------------------------------------
-    def _chunk_bounds(self, n: int) -> list[tuple[int, int]]:
-        return [
-            (start, min(start + self.chunk_size, n))
-            for start in range(0, n, self.chunk_size)
+    def _chunk_bounds(
+        self, n: int, chunk_size: int | None = None
+    ) -> list[tuple[int, int]]:
+        """Chunk grid over ``n`` packets, with the tiny-tail merge: a
+        final chunk shorter than ``chunk_size / 4`` is folded into its
+        predecessor (it would pay full dispatch cost for a sliver of
+        work)."""
+        size = self.chunk_size if chunk_size is None else chunk_size
+        bounds = [
+            (start, min(start + size, n)) for start in range(0, n, size)
         ]
+        if (
+            len(bounds) > 1
+            and (bounds[-1][1] - bounds[-1][0]) * TAIL_MERGE_DIVISOR < size
+        ):
+            _, end = bounds.pop()
+            bounds[-1] = (bounds[-1][0], end)
+        return bounds
+
+    def _effective_chunk_size(self, has_updates: bool) -> int:
+        """The dispatch granularity for one run: coalesced up to
+        ``min_chunk_packets`` unless an update stream pins the epoch
+        grid to the configured ``chunk_size``."""
+        if has_updates or not self.min_chunk_packets:
+            return self.chunk_size
+        return max(self.chunk_size, self.min_chunk_packets)
 
     @staticmethod
     def _fork_available() -> bool:
@@ -418,6 +600,34 @@ class ClassificationPipeline:
             return "fork" in multiprocessing.get_all_start_methods()
         except ImportError:  # pragma: no cover - multiprocessing is stdlib
             return False
+
+    def _fork_engages(self, n_chunks: int | None = None) -> bool:
+        """Whether the fork tier should serve a multi-chunk run.
+
+        ``"processes"`` always forks (the historical contract — the
+        conformance suites rely on it to exercise the transport);
+        ``"auto"`` declines when clamping to CPUs (and chunks) leaves
+        fewer than two workers, because a 1-worker pool pays fork + IPC
+        for zero parallelism.
+        """
+        if self.shard_mode == "processes":
+            return True
+        workers = min(self.shards, os.cpu_count() or 1)
+        if n_chunks is not None:
+            workers = min(workers, n_chunks)
+        return workers >= 2
+
+    def fork_planned(self) -> bool:
+        """Whether a multi-chunk ``run()`` would fork worker processes
+        (the question :class:`~repro.serve.Engine` asks before starting
+        serving threads — forking a multi-threaded process risks
+        inheriting held locks)."""
+        return (
+            self.shards > 1
+            and self.shard_mode != "threads"
+            and self._fork_available()
+            and self._fork_engages()
+        )
 
     # -- update-stream plumbing -----------------------------------------
     def _normalise_updates(
@@ -500,7 +710,9 @@ class ClassificationPipeline:
 
         headers = trace.headers
         n = headers.shape[0]
-        bounds = self._chunk_bounds(n)
+        bounds = self._chunk_bounds(
+            n, self._effective_chunk_size(bool(updates))
+        )
         entries = self._normalise_updates(updates, bounds)
         # Epochs are reported only for genuinely updatable backends —
         # a cache wrapper around a non-updatable classifier merely
@@ -511,14 +723,29 @@ class ClassificationPipeline:
         )
         update_results = []
         update_latencies: list[float] = []
+        multi = self.shards > 1 and len(bounds) > 1
+        forked_transient = False
         started = time.perf_counter()
-        if self.shards > 1 and len(bounds) > 1 and self._fork_available():
+        if multi and self.shard_mode == "threads":
+            outputs, workers = self._run_threads(
+                headers, bounds, entries, update_results, update_latencies
+            )
+            # Batches scheduled past the last chunk apply after the trace.
+            update_results.extend(
+                self._parent_apply(entries, update_latencies)
+            )
+        elif (
+            multi
+            and self._fork_available()
+            and self._fork_engages(len(bounds))
+        ):
             if self.persistent:
                 outputs, workers = self._run_persistent(
                     headers, bounds, entries
                 )
             else:
                 outputs, workers = self._run_forked(headers, bounds, entries)
+                forked_transient = True
             # The parent's copy catches up after the run (its state then
             # matches the workers', and later forks inherit it).
             update_results = self._parent_apply(entries, update_latencies)
@@ -534,7 +761,9 @@ class ClassificationPipeline:
                     update_latencies.append(time.perf_counter() - t0)
                     self._applied_seq = entries[idx].seq
                     idx += 1
-                outputs.append(_run_chunk_local(self.classifier, headers, b))
+                outputs.append(
+                    _run_chunk_local(self.classifier, headers, b) + (0,)
+                )
             # Batches scheduled past the last chunk apply after the trace.
             update_results.extend(
                 self._parent_apply(entries, update_latencies)
@@ -551,12 +780,26 @@ class ClassificationPipeline:
                 # from the current state with an empty log.
                 self.close()
         elapsed = time.perf_counter() - started
-        return self._aggregate(
+        result = self._aggregate(
             outputs, bounds, n, elapsed, workers,
             entries=entries, base_epoch=base_epoch,
             update_results=update_results,
             update_latencies=update_latencies,
         )
+        if (
+            forked_transient
+            and not entries
+            and result.cache_hits is not None
+            and hasattr(self.classifier, "warm_from_run")
+        ):
+            # Transient shards filled *their* (copy-on-write) caches and
+            # died with them; seed the parent's cache from the run's
+            # results so the next fork inherits a warm cache instead of
+            # cold-starting every run.  Skipped when updates ran (the
+            # results span epochs) and in persistent mode (the live
+            # workers already keep their caches warm).
+            self.classifier.warm_from_run(headers, result.match)
+        return result
 
     def _run_forked(
         self,
@@ -590,61 +833,146 @@ class ClassificationPipeline:
         bounds: list[tuple[int, int]],
         entries: list[_ScheduledEntry] | None = None,
     ) -> tuple[list[ChunkOutput], int]:
-        """One run over the long-lived pool with shared-memory transport.
+        """One run over the long-lived pool with arena transport.
 
-        The trace is copied once into a shared input segment; workers
-        scatter their match/occupancy slices into shared output segments
-        and return scalars only.  All segments are unlinked before the
-        method returns — workers drop their stale attachments at the
-        start of the next run.
+        The trace is copied once into the pipeline-lifetime input
+        segment; workers scatter their match/occupancy slices into the
+        shared output segments and return scalars only.  Segments are
+        *not* created or unlinked per run — the arena persists (and
+        workers keep their attachments) until a larger trace forces a
+        growth or the pipeline closes.
         """
-        from multiprocessing import shared_memory
-
         pool = self._ensure_pool(headers.shape[1])
+        arena = self._ensure_arena(headers)
         prefixes = self._chunk_prefixes(bounds, entries or [])
         n = headers.shape[0]
-        segments = []
-
-        def _create(size: int) -> shared_memory.SharedMemory:
-            shm = shared_memory.SharedMemory(create=True, size=max(1, size))
-            segments.append(shm)
-            return shm
-
-        try:
-            shm_in = _create(headers.nbytes)
-            shm_out = _create(n * 8)
-            shm_occ = _create(n * 8)
-            np.ndarray(headers.shape, headers.dtype, buffer=shm_in.buf)[:] = (
-                headers
-            )
-            tasks = [
-                (
-                    shm_in.name, headers.shape, str(headers.dtype),
-                    shm_out.name, shm_occ.name, b, pending,
-                )
-                for b, pending in zip(bounds, prefixes)
-            ]
-            results = pool.map(_run_chunk_shm, tasks)
-            match = np.ndarray((n,), np.int64, buffer=shm_out.buf).copy()
-            has_occ = all(r[0] for r in results)
-            occupancy = (
-                np.ndarray((n,), np.int64, buffer=shm_occ.buf).copy()
-                if has_occ
-                else None
-            )
-        finally:
-            for shm in segments:
-                shm.close()
-                shm.unlink()
+        names = arena["names"]
+        shm_in, shm_out, shm_occ = arena["segs"]
+        np.ndarray(headers.shape, headers.dtype, buffer=shm_in.buf)[:] = (
+            headers
+        )
+        tasks = [
+            (names, headers.shape, str(headers.dtype), b, pending)
+            for b, pending in zip(bounds, prefixes)
+        ]
+        results = pool.map(_run_chunk_shm, tasks)
+        match = np.ndarray((n,), np.int64, buffer=shm_out.buf).copy()
+        has_occ = all(r[0] for r in results)
+        occupancy = (
+            np.ndarray((n,), np.int64, buffer=shm_occ.buf).copy()
+            if has_occ
+            else None
+        )
         outputs = [
             (
                 match[s:e],
                 None if occupancy is None else occupancy[s:e],
                 cache,
+                pid,
             )
-            for (s, e), (_, cache) in zip(bounds, results)
+            for (s, e), (_, cache, pid) in zip(bounds, results)
         ]
         return outputs, min(self._pool_size, len(bounds))
+
+    # -- thread tier ----------------------------------------------------
+    def _ensure_thread_clones(self, workers: int) -> list:
+        """Per-shard serving objects for the thread tier.
+
+        Flow-cached classifiers get one private cache clone per shard
+        (kept across runs, so shard caches stay warm); the clones share
+        the wrapped backend, whose batch kernels are pure NumPy and safe
+        to walk concurrently.  Bare backends are shared directly.  A
+        backend ``update_epoch`` change since the last run epoch-bumps
+        every clone cache, so out-of-run updates never serve stale
+        entries.
+        """
+        base = self.classifier
+        if not (hasattr(base, "clone") and hasattr(base, "cache")):
+            return [base] * workers
+        if not self._thread_clones:
+            self._thread_epoch = int(getattr(base, "update_epoch", 0))
+        while len(self._thread_clones) < workers:
+            self._thread_clones.append(base.clone())
+        current = int(getattr(base, "update_epoch", 0))
+        if current != self._thread_epoch:
+            for clone in self._thread_clones:
+                clone.cache.advance_epoch()
+            self._thread_epoch = current
+        return self._thread_clones[:workers]
+
+    def _run_threads(
+        self,
+        headers: np.ndarray,
+        bounds: list[tuple[int, int]],
+        entries: list[_ScheduledEntry],
+        update_results: list,
+        update_latencies: list[float],
+    ) -> tuple[list[ChunkOutput], int]:
+        """One run over a shard-affine thread pool.
+
+        Chunks are assigned round-robin to shards; each shard serves its
+        chunks *in order* on one future, so a shard's private cache sees
+        the same chunk sequence a process shard would.  Updates are
+        epoch barriers: all chunks of one epoch drain before the batch
+        applies on the (serving) thread, then every shard cache is
+        epoch-invalidated — identical matches to the other modes.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        workers = min(self.shards, len(bounds))
+        clones = self._ensure_thread_clones(workers)
+        cached = clones[0] is not self.classifier
+        outputs: list[ChunkOutput | None] = [None] * len(bounds)
+
+        def _shard_serve(clone, chunk_ids, shard):
+            return [
+                (i, _run_chunk_local(clone, headers, bounds[i]) + (shard,))
+                for i in chunk_ids
+            ]
+
+        n_chunks = len(bounds)
+        idx = 0
+        start = 0
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-shard"
+        ) as pool:
+            while start < n_chunks:
+                while (
+                    idx < len(entries)
+                    and entries[idx].effect_chunk <= start
+                ):
+                    entry = entries[idx]
+                    t0 = time.perf_counter()
+                    update_results.append(
+                        self.classifier.apply_updates(entry.batch)
+                    )
+                    update_latencies.append(time.perf_counter() - t0)
+                    self._applied_seq = entry.seq
+                    if cached:
+                        for clone in clones:
+                            clone.cache.advance_epoch()
+                        self._thread_epoch = int(
+                            getattr(self.classifier, "update_epoch", 0)
+                        )
+                    idx += 1
+                stop = n_chunks
+                if idx < len(entries) and entries[idx].effect_chunk < stop:
+                    stop = entries[idx].effect_chunk
+                # Flush lazily-patched kernel state on the serving thread
+                # before shards walk the structures concurrently.
+                warm_batch_state(self.classifier, headers.shape[1])
+                group = range(start, stop)
+                futures = [
+                    pool.submit(
+                        _shard_serve, clones[s], list(group)[s::workers], s
+                    )
+                    for s in range(workers)
+                ]
+                for fut in futures:
+                    for i, out in fut.result():
+                        outputs[i] = out
+                start = stop
+        return outputs, workers
 
     def _aggregate(
         self,
@@ -667,8 +995,13 @@ class ClassificationPipeline:
             ops_at[e.effect_chunk] = ops_at.get(e.effect_chunk, 0) + len(
                 e.batch
             )
+        # Densify worker labels (pids / thread indices) into 0-based
+        # shard ids, in first-served chunk order.
+        shard_of: dict[int, int] = {}
+        for out in outputs:
+            shard_of.setdefault(out[3], len(shard_of))
         chunks: list[ChunkStats] = []
-        for i, ((start, end), (match, occ, cache)) in enumerate(
+        for i, ((start, end), (match, occ, cache, label)) in enumerate(
             zip(bounds, outputs)
         ):
             epoch = (
@@ -687,18 +1020,19 @@ class ClassificationPipeline:
                     cache_evictions=None if cache is None else cache[2],
                     epoch=epoch,
                     updates_applied=ops_at.get(i, 0),
+                    shard=shard_of[label],
                 )
             )
         if outputs:
-            match = np.concatenate([m for m, _, _ in outputs])
-            occs = [o for _, o, _ in outputs]
+            match = np.concatenate([m for m, _, _, _ in outputs])
+            occs = [o for _, o, _, _ in outputs]
             occupancy = (
                 np.concatenate(occs) if all(o is not None for o in occs) else None
             )
         else:
             match = np.empty(0, dtype=np.int64)
             occupancy = None
-        caches = [c for _, _, c in outputs]
+        caches = [c for _, _, c, _ in outputs]
         has_cache = bool(caches) and all(c is not None for c in caches)
         skipped = sum(
             getattr(r, "skipped", 0) for r in (update_results or [])
@@ -727,7 +1061,7 @@ class ClassificationPipeline:
 
 def _run_chunk_local(
     classifier: Classifier, headers: np.ndarray, bounds: tuple[int, int]
-) -> ChunkOutput:
+) -> tuple[np.ndarray, np.ndarray | None, tuple[int, int, int] | None]:
     start, end = bounds
     stats: BatchStats = batch_stats_of(classifier, headers[start:end])
     cache = (

@@ -35,7 +35,11 @@ import dataclasses
 from dataclasses import dataclass
 
 from ..core.errors import ConfigError
-from ..engine.pipeline import DEFAULT_CHUNK_SIZE
+from ..engine.pipeline import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_MIN_CHUNK_PACKETS,
+    SHARD_MODES,
+)
 from ..engine.registry import backend_spec
 
 #: Device energy models ``EngineReport`` can evaluate a run against.
@@ -64,6 +68,16 @@ class EngineConfig:
     shards: int = 1
     chunk_size: int = DEFAULT_CHUNK_SIZE
     persistent: bool = False
+    #: Worker tier: ``"auto"`` forks only when the clamped worker count
+    #: can win, ``"processes"`` always forks when ``shards > 1``,
+    #: ``"threads"`` runs shard-affine in-process workers.  The engine
+    #: defaults to ``"auto"`` (``ClassificationPipeline`` constructed
+    #: directly keeps the historical ``"processes"`` default).
+    shard_mode: str = "auto"
+    #: Coalesce dispatches on update-free runs until each carries at
+    #: least this many packets (0 disables).  ``chunk_size`` stays the
+    #: epoch grid and the reporting granularity for update streams.
+    min_chunk_packets: int = DEFAULT_MIN_CHUNK_PACKETS
 
     # -- flow-cache geometry ---------------------------------------------
     cache_entries: int = 0
@@ -96,6 +110,16 @@ class EngineConfig:
         if self.chunk_size < 1:
             raise ConfigError(
                 f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.shard_mode not in SHARD_MODES:
+            raise ConfigError(
+                f"unknown shard_mode {self.shard_mode!r}; "
+                f"expected one of {', '.join(SHARD_MODES)}"
+            )
+        if self.min_chunk_packets < 0:
+            raise ConfigError(
+                f"min_chunk_packets must be >= 0, "
+                f"got {self.min_chunk_packets}"
             )
         if self.cache_entries < 0:
             raise ConfigError(
@@ -160,6 +184,8 @@ class EngineConfig:
             "--speed", str(self.speed),
             "--shards", str(self.shards),
             "--chunk-size", str(self.chunk_size),
+            "--shard-mode", self.shard_mode,
+            "--min-chunk-packets", str(self.min_chunk_packets),
             "--cache-entries", str(self.cache_entries),
             "--cache-ways", str(self.cache_ways),
             "--cache-max-age", str(self.cache_max_age),
@@ -193,6 +219,10 @@ class EngineConfig:
             shards=int(get("shards", defaults.shards)),
             chunk_size=int(get("chunk_size", defaults.chunk_size)),
             persistent=bool(get("persistent", defaults.persistent)),
+            shard_mode=str(get("shard_mode", defaults.shard_mode)),
+            min_chunk_packets=int(
+                get("min_chunk_packets", defaults.min_chunk_packets)
+            ),
             cache_entries=int(get("cache_entries", defaults.cache_entries)),
             cache_ways=int(get("cache_ways", defaults.cache_ways)),
             cache_max_age=int(

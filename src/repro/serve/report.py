@@ -23,7 +23,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..engine.pipeline import ChunkStats, PipelineResult
+from ..engine.pipeline import (
+    ChunkStats,
+    PipelineResult,
+    aggregate_shard_cache_stats,
+)
 
 #: The paper's device operating points used for report-side evaluation.
 _DEVICE_FREQ_HZ = {"asic": 226e6, "fpga": 77e6}
@@ -110,6 +114,16 @@ class EngineReport:
         if lookups is None:
             return None
         return self.cache_hits / lookups if lookups else 0.0
+
+    def shard_cache_stats(self) -> list[dict] | None:
+        """Per-shard flow-cache accounting (chunks, hits, misses,
+        evictions, hit rate), folded from the per-chunk counters.  For
+        a merged stream the shard ids are per-segment worker *slots*
+        (slot 0 of every segment folds together).  ``None`` on bare
+        backends."""
+        if self.cache_hits is None:
+            return None
+        return aggregate_shard_cache_stats(self.chunks)
 
     @property
     def first_epoch(self) -> int | None:

@@ -139,6 +139,8 @@ class Engine:
             chunk_size=config.chunk_size,
             shards=config.shards,
             persistent=config.persistent,
+            shard_mode=config.shard_mode,
+            min_chunk_packets=config.min_chunk_packets,
         )
         self._closed = False
 
@@ -341,9 +343,7 @@ class Engine:
         """Generator body of :meth:`stream` (threads start lazily on the
         first ``next()``; early ``close()`` of the iterator tears the
         session's threads down without leaking)."""
-        sharded = (
-            self.config.shards > 1 and self._pipeline._fork_available()
-        )
+        sharded = self._pipeline.fork_planned()
         borrowed_pool = False
         if sharded:
             # Fork the worker pool before any thread exists: forking a

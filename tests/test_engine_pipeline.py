@@ -198,3 +198,136 @@ class TestEdges:
             ClassificationPipeline(acc_small, chunk_size=0)
         with pytest.raises(ConfigError):
             ClassificationPipeline(acc_small, shards=0)
+        with pytest.raises(ConfigError):
+            ClassificationPipeline(acc_small, shard_mode="fibers")
+        with pytest.raises(ConfigError):
+            ClassificationPipeline(acc_small, min_chunk_packets=-1)
+
+
+class TestChunkBounds:
+    """The dispatch-grid rules: tiny-tail merge and chunk coalescing."""
+
+    def test_tail_merge_grid(self, acc_small):
+        p = ClassificationPipeline(acc_small, chunk_size=1000)
+        # Tail of 100 (< 1000/4) folds into the previous chunk...
+        assert p._chunk_bounds(2100) == [(0, 1000), (1000, 2100)]
+        # ...a tail of exactly a quarter stays its own chunk...
+        assert p._chunk_bounds(2250) == [
+            (0, 1000), (1000, 2000), (2000, 2250),
+        ]
+        # ...and exact multiples are untouched.
+        assert p._chunk_bounds(3000) == [
+            (0, 1000), (1000, 2000), (2000, 3000),
+        ]
+        # A single short chunk never merges (there is no predecessor).
+        assert p._chunk_bounds(10) == [(0, 10)]
+        assert p._chunk_bounds(0) == []
+
+    def test_tail_merge_serves_identically(self, acc_small, acl_small_trace):
+        # 2000 packets, chunk 950 -> 950/950/100; the 100-packet tail
+        # merges into the second chunk.
+        single = acc_small.classify_trace(acl_small_trace)
+        res = ClassificationPipeline(acc_small, chunk_size=950).run(
+            acl_small_trace
+        )
+        assert [c.n_packets for c in res.chunks] == [950, 1050]
+        assert np.array_equal(res.match, single)
+
+    def test_min_chunk_packets_coalesces_without_updates(
+        self, acc_small, acl_small_trace
+    ):
+        res = ClassificationPipeline(
+            acc_small, chunk_size=256, min_chunk_packets=10**6
+        ).run(acl_small_trace)
+        assert len(res.chunks) == 1
+        assert np.array_equal(
+            res.match, acc_small.classify_trace(acl_small_trace)
+        )
+
+    def test_updates_pin_the_epoch_grid(self, acl_small, acl_small_trace):
+        # With an update stream the chunk grid must stay chunk_size so
+        # epoch boundaries land where scheduled, whatever the dispatch
+        # target says.
+        from repro.core.updates import ScheduledUpdate, remove_op
+        from repro.engine.updates import build_updatable_backend
+
+        clf = build_updatable_backend("hypercuts", acl_small, binth=16)
+        res = ClassificationPipeline(
+            clf, chunk_size=256, min_chunk_packets=10**6
+        ).run(acl_small_trace, updates=[
+            ScheduledUpdate(at_packet=1000, batch=(remove_op(3),)),
+        ])
+        assert len(res.chunks) == 8  # 2000 / 256 with the tail merged
+        assert {c.epoch for c in res.chunks} == {0, 1}
+
+
+class TestShardModes:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_threads_mode_matches_single_shot(
+        self, acc_small, acl_small_trace, shards
+    ):
+        single = acc_small.classify_trace(acl_small_trace)
+        pipeline = ClassificationPipeline(
+            acc_small, chunk_size=256, shards=shards, shard_mode="threads"
+        )
+        res = pipeline.run(acl_small_trace)
+        assert np.array_equal(res.match, single)
+        assert res.n_shards == shards
+        assert res.occupancy is not None
+        # Chunks round-robin over shard-affine workers.
+        assert [c.shard for c in res.chunks] == [
+            i % shards for i in range(len(res.chunks))
+        ]
+
+    def test_threads_mode_keeps_shard_caches_warm(
+        self, acl_small, acl_small_trace
+    ):
+        from repro.engine import CachedClassifier
+
+        cached = CachedClassifier(
+            build_backend("hypercuts", acl_small, binth=16, hw_mode=False),
+            entries=512, ways=4,
+        )
+        pipeline = ClassificationPipeline(
+            cached, chunk_size=256, shards=2, shard_mode="threads"
+        )
+        cold = pipeline.run(acl_small_trace)
+        warm = pipeline.run(acl_small_trace)
+        assert np.array_equal(cold.match, warm.match)
+        assert warm.cache_hit_rate > cold.cache_hit_rate
+        per_shard = warm.shard_cache_stats()
+        assert per_shard is not None and len(per_shard) == 2
+        assert all(d["hits"] > 0 for d in per_shard)
+
+    def test_auto_mode_never_loses_to_single_process(
+        self, acc_small, acl_small_trace
+    ):
+        # "auto" on a host where min(shards, cpus) < 2 must serve the
+        # trace single-process (n_shards == 1) rather than paying fork +
+        # IPC for a 1-worker pool; with enough CPUs it forks like
+        # "processes".  Either way the matches are identical.
+        import os
+
+        pipeline = ClassificationPipeline(
+            acc_small, chunk_size=256, shards=4, shard_mode="auto"
+        )
+        res = pipeline.run(acl_small_trace)
+        can_win = (
+            min(4, os.cpu_count() or 1) >= 2
+            and pipeline._fork_available()
+        )
+        assert res.n_shards == (min(4, os.cpu_count() or 1) if can_win else 1)
+        assert np.array_equal(
+            res.match, acc_small.classify_trace(acl_small_trace)
+        )
+        assert pipeline.fork_planned() == can_win
+
+    def test_processes_mode_forces_fork(self, acc_small, acl_small_trace):
+        # The historical contract: shards > 1 forks whenever the
+        # platform can, even when clamping leaves one worker.
+        pipeline = ClassificationPipeline(
+            acc_small, chunk_size=256, shards=2, shard_mode="processes"
+        )
+        if not pipeline._fork_available():  # pragma: no cover
+            pytest.skip("fork multiprocessing unavailable")
+        assert pipeline.fork_planned()

@@ -295,8 +295,12 @@ class TestSessionLifecycle:
     ):
         # Per-segment ChunkStats are rebased when merged: indices run
         # over the whole stream and starts are absolute offsets into
-        # the merged match array.
-        config = EngineConfig(backend="linear", chunk_size=256)
+        # the merged match array.  min_chunk_packets=0 pins the chunk
+        # grid to chunk_size (the default coalesces each segment into
+        # one dispatch).
+        config = EngineConfig(
+            backend="linear", chunk_size=256, min_chunk_packets=0
+        )
         with Engine.open(config, acl_small) as engine:
             report = engine.classify_stream(
                 acl_small_trace, segment_packets=512
@@ -351,7 +355,10 @@ class TestSessionLifecycle:
 
     def test_persistent_pool_owned_by_session(self, acl_small, acl_small_trace):
         config = EngineConfig(
-            backend="linear", chunk_size=256, shards=2, persistent=True
+            backend="linear", chunk_size=256, shards=2, persistent=True,
+            # Force the fork tier: "auto" declines a 1-worker pool on a
+            # single-CPU host, and this test pins pool ownership.
+            shard_mode="processes", min_chunk_packets=0,
         )
         engine = Engine.open(config, acl_small)
         try:
