@@ -52,6 +52,7 @@ GATED_METRICS = frozenset({
     "fused_lookup.speedup",
     "pipeline_pool.amortisation",
     "stream_overlap.end_to_end_speedup",
+    "fault_recovery.retried_throughput_ratio",
 })
 
 #: Metric families that must be non-decreasing along an ordered axis of

@@ -17,6 +17,7 @@ pool's fork-amortisation win.
 from __future__ import annotations
 
 import json
+import math
 import time
 from pathlib import Path
 
@@ -33,6 +34,8 @@ from repro.energy import CacheEnergyModel
 from repro.engine import (
     CachedClassifier,
     ClassificationPipeline,
+    FaultSpec,
+    SupervisionPolicy,
     build_backend,
 )
 from repro.serve import Engine, EngineConfig, iter_trace_file
@@ -242,6 +245,49 @@ def test_persistent_pipeline_throughput(
         round(acl1k_trace.n_packets / benchmark.stats.stats.min)
     )
     assert res.n_packets == acl1k_trace.n_packets
+
+
+# ---------------------------------------------------------------------------
+# Fault recovery: the cost of absorbing one worker crash
+# ---------------------------------------------------------------------------
+def test_fault_recovery_gate(acl1k_engine_accelerator, acl1k):
+    """Acceptance gate: a supervised run that absorbs one injected
+    worker crash (detect via the exit-code watch, tear the pool down,
+    re-fork, whole-dispatch replay) still delivers >= 0.5x the
+    fault-free throughput on the same 200k-packet workload,
+    bit-identically.  Lands as ``fault_recovery`` in
+    ``BENCH_engine.json``; ``retried_throughput_ratio`` is gated by
+    ``compare_baseline.py`` (a ratio of same-machine wall clocks, so it
+    is runner-insensitive the way the other gated speedups are)."""
+    trace = generate_trace(acl1k, 200_000, seed=83)
+    policy = SupervisionPolicy(
+        fault_policy="retry", max_retries=2,
+        backoff_base_s=0.0, backoff_max_s=0.0,
+    )
+    pipeline = ClassificationPipeline(
+        acl1k_engine_accelerator, chunk_size=2048, shards=2,
+        shard_mode="processes", policy=policy,
+    )
+    if not pipeline._fork_available():  # pragma: no cover - non-fork platform
+        pytest.skip("fork multiprocessing unavailable")
+    want = pipeline.run(trace)  # warm lazily-built structures
+    t_free = _best_of(lambda: pipeline.run(trace), repeats=2)
+    t_fault = math.inf
+    for _ in range(2):
+        t0 = time.perf_counter()
+        res = pipeline.run(trace, faults=[FaultSpec(kind="crash", chunk=1)])
+        t_fault = min(t_fault, time.perf_counter() - t0)
+        assert np.array_equal(res.match, want.match)
+        assert res.fault.worker_crashes == 1 and res.fault.retries == 1
+    ratio = t_free / t_fault
+    _PERF["fault_recovery"] = {
+        "packets": trace.n_packets,
+        "fault_free_pps": round(trace.n_packets / t_free),
+        "retried_pps": round(trace.n_packets / t_fault),
+        "retried_throughput_ratio": round(ratio, 2),
+        "recovery_max_s": round(max(res.fault.recovery_s), 5),
+    }
+    assert ratio >= 0.5, f"retried run only {ratio:.2f}x fault-free"
 
 
 # ---------------------------------------------------------------------------

@@ -45,7 +45,16 @@ from .engine import CachedClassifier, available_backends, backend_spec
 from .engine.pipeline import SHARD_MODES
 from .engine.registry import registered_aliases
 from .hw import build_memory_image, figure5_trace
-from .serve import ENERGY_MODELS, Engine, EngineConfig, iter_trace_segments
+from .serve import (
+    DEGRADATION_LADDER,
+    ENERGY_MODELS,
+    FAULT_POLICIES,
+    ON_MALFORMED,
+    Engine,
+    EngineConfig,
+    FaultPlan,
+    iter_trace_segments,
+)
 
 #: Names ``--algorithm`` accepts: every registered backend plus aliases.
 _ALGORITHM_CHOICES = sorted(set(available_backends()) | set(registered_aliases()))
@@ -301,9 +310,32 @@ def _print_profile(stages: dict, artifact) -> None:
     print(f"  merged into {artifact}")
 
 
+def _print_fault_report(fault) -> None:
+    """One-line supervisor summary plus any degradations taken."""
+    parts = [f"{fault.retries} retries", f"{fault.replays} chunk replays"]
+    if fault.worker_crashes:
+        parts.append(f"{fault.worker_crashes} worker crashes")
+    if fault.timeouts:
+        parts.append(f"{fault.timeouts} deadline overruns")
+    if fault.arena_faults:
+        parts.append(f"{fault.arena_faults} arena fence trips")
+    if fault.update_retries:
+        parts.append(f"{fault.update_retries} update retries")
+    if fault.ingest_retries:
+        parts.append(f"{fault.ingest_retries} ingest retries")
+    if fault.quarantined:
+        parts.append(f"{fault.quarantined} packets quarantined")
+    print(f"fault recovery: {', '.join(parts)}")
+    for step in fault.degradations:
+        print(f"  degraded {step}")
+    if fault.recovery_s:
+        print(f"  worst recovery: {max(fault.recovery_s) * 1e3:.1f} ms")
+
+
 def cmd_bench(args) -> int:
     rs = _load_or_generate(args)
     trace = _load_or_generate_trace(args, rs)
+    fault_plan = FaultPlan.coerce(args.faults)
     if args.persistent and args.shards < 2:
         print(
             "warning: --persistent needs --shards >= 2 to fork a worker "
@@ -331,12 +363,13 @@ def cmd_bench(args) -> int:
         # serve the updated ruleset (steady state after the churn).
         if args.stream:
             res = engine.classify_stream(
-                iter_trace_segments(trace, args.stream), updates=schedule
+                iter_trace_segments(trace, args.stream), updates=schedule,
+                faults=fault_plan,
             )
             print(f"streamed ingestion: {res.n_segments} segments x "
                   f"{args.stream} packets (bounded ring, overlapped)")
         else:
-            res = engine.classify(trace, updates=schedule)
+            res = engine.classify(trace, updates=schedule, faults=fault_plan)
         first_run = res
         for i in range(1, args.repeats):
             rerun = engine.classify(trace)
@@ -363,6 +396,8 @@ def cmd_bench(args) -> int:
           f"({100 * res.matched_fraction:.1f}%)")
     print(f"pipeline throughput: {res.throughput_pps:,.0f} packets/s "
           f"(wall clock {res.elapsed_s * 1e3:.1f} ms)")
+    if first_run.fault is not None and first_run.fault.any():
+        _print_fault_report(first_run.fault)
     if schedule is not None:
         _print_update_report(clf, first_run)
     if res.cache_hits is not None and isinstance(clf, CachedClassifier):
@@ -453,6 +488,24 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--energy-model", default="asic", choices=ENERGY_MODELS,
                    help="device model the engine report evaluates "
                         "occupancy against")
+    p.add_argument("--fault-policy", default=None,
+                   choices=list(FAULT_POLICIES),
+                   help="serving-fault posture: fail raises a typed "
+                        "ServingFaultError, retry replays the dispatch "
+                        "with backoff, degrade retries then walks the "
+                        "worker-tier ladder "
+                        f"({' -> '.join(DEGRADATION_LADDER)})")
+    p.add_argument("--max-retries", type=int, default=None, metavar="N",
+                   help="dispatch retries per tier before failing or "
+                        "degrading (default 2)")
+    p.add_argument("--chunk-timeout", type=float, default=None, metavar="S",
+                   help="per-chunk dispatch deadline in seconds "
+                        "(0 = no deadline; crash detection stays on)")
+    p.add_argument("--on-malformed", default=None,
+                   choices=list(ON_MALFORMED),
+                   help="malformed trace-line policy for file ingestion: "
+                        "raise aborts, quarantine dead-letters bad lines "
+                        "(bounded, counted) and serves the rest")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -525,6 +578,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="insert:remove weighting of the update stream")
     n.add_argument("--update-batch", type=int, default=8, metavar="OPS",
                    help="operations per scheduled update batch")
+    n.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="inject a deterministic fault plan (JSON written "
+                        "by FaultPlan.save) into the first run; pair with "
+                        "--fault-policy retry|degrade to exercise recovery")
     _add_cache_args(n)
     _add_engine_args(n)
     n.set_defaults(fn=cmd_bench)

@@ -13,6 +13,12 @@ See ``docs/engine.md`` for the architecture overview.
 """
 
 from .backends import AcceleratorClassifier, DecisionTreeClassifier
+from .faults import (
+    CRASH_EXIT_CODE,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
 from .flowcache import (
     HIT_OCCUPANCY_CYCLES,
     CachedClassifier,
@@ -40,6 +46,13 @@ from .registry import (
     build_backend,
     register_backend,
     registered_aliases,
+)
+from .supervision import (
+    DEGRADATION_LADDER,
+    FAULT_POLICIES,
+    FaultReport,
+    SupervisionPolicy,
+    Supervisor,
 )
 from .updates import (
     RebuildUpdatable,
@@ -85,4 +98,13 @@ __all__ = [
     "build_backend",
     "register_backend",
     "registered_aliases",
+    "CRASH_EXIT_CODE",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "DEGRADATION_LADDER",
+    "FAULT_POLICIES",
+    "FaultReport",
+    "SupervisionPolicy",
+    "Supervisor",
 ]

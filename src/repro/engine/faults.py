@@ -1,0 +1,326 @@
+"""Deterministic fault injection for the serving runtime.
+
+A :class:`FaultPlan` is a seeded, fully declarative description of the
+faults one serving run (or streamed session) must survive: worker
+crashes and hangs at a given chunk, shared-memory arena corruption,
+ingestion I/O errors at a given segment, and update-batch apply
+failures.  The same plan drives three consumers with one mechanism:
+
+* the fault-tolerance test grid (``tests/test_fault_tolerance.py``),
+* the CI chaos step (tier-1, ``REPRO_QUICK=1``),
+* user soak runs, via ``repro-classify bench --faults PLAN.json``.
+
+Determinism is the whole point: a plan names *where* each fault fires
+(chunk / segment / batch ordinal) and *how often* (``times`` — a fault
+fires while the dispatch ``attempt`` is below it, so a retried chunk
+sails through), never a random process.  The parent computes which
+specs apply to each dispatch and ships exactly those in the task
+descriptor, so workers need no shared state to misbehave on cue.
+
+Fault kinds
+-----------
+
+``crash``
+    the worker process calls ``os._exit`` (in-process tiers raise
+    :class:`~repro.core.errors.InjectedFault` instead — a thread cannot
+    crash alone);
+``hang``
+    the worker sleeps ``seconds`` (past ``chunk_timeout_s`` this trips
+    the supervisor's deadline);
+``error``
+    the worker raises :class:`~repro.core.errors.InjectedFault`;
+``arena``
+    the parent scribbles the arena's control word before dispatch, so
+    the worker's generation-fence check trips
+    (:class:`~repro.core.errors.ArenaCorruptionError`) — persistent
+    pool only, a no-op elsewhere;
+``ingest``
+    the streamed session's ingestion thread raises
+    :class:`~repro.core.errors.IngestError` before fetching segment
+    ``segment``;
+``update``
+    the update-apply site raises :class:`~repro.core.errors.
+    InjectedFault` before applying batch ordinal ``batch``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field, fields
+
+from ..core.errors import (
+    ChunkTimeoutError,
+    ConfigError,
+    IngestError,
+    InjectedFault,
+)
+
+#: The fault kinds a :class:`FaultSpec` accepts.
+FAULT_KINDS = ("crash", "hang", "error", "arena", "ingest", "update")
+
+#: Kinds fired inside a chunk-serving worker.
+WORKER_KINDS = ("crash", "hang", "error")
+
+#: Exit code an injected worker crash dies with (distinct from 0 and
+#: from Python's generic 1, so the supervisor's exit-code watch can
+#: attribute the death).
+CRASH_EXIT_CODE = 70
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault.
+
+    ``chunk``/``segment``/``batch`` select the target ordinal for the
+    relevant kind (``None`` = any chunk / the first segment / any
+    batch).  ``shard`` optionally restricts worker faults to one
+    thread-tier shard.  ``times`` is the number of dispatch *attempts*
+    the fault fires on — the default 1 means "first attempt only", so a
+    supervised retry recovers.
+    """
+
+    kind: str
+    chunk: int | None = None
+    shard: int | None = None
+    segment: int | None = None
+    batch: int | None = None
+    times: int = 1
+    seconds: float = 5.0
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {', '.join(FAULT_KINDS)}"
+            )
+        if self.times < 1:
+            raise ConfigError(f"fault times must be >= 1, got {self.times}")
+        if self.seconds < 0:
+            raise ConfigError(
+                f"fault seconds must be >= 0, got {self.seconds}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if getattr(self, f.name) != f.default
+        } | {"kind": self.kind}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of :class:`FaultSpec` to inject into a run.
+
+    Serialises to/from plain JSON (``to_dict``/``from_dict``/``save``/
+    ``load``) so CI chaos configs and recorded soak-run plans are the
+    same artifact.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "specs",
+            tuple(
+                s if isinstance(s, FaultSpec) else FaultSpec(**s)
+                for s in self.specs
+            ),
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    # -- selection -----------------------------------------------------
+    def worker_faults(
+        self, chunk: int, attempt: int, shard: int | None = None
+    ) -> tuple[FaultSpec, ...]:
+        """Worker-side specs that fire for ``chunk`` on this
+        ``attempt`` (parent computes this and ships the result in the
+        task descriptor)."""
+        return tuple(
+            s
+            for s in self.specs
+            if s.kind in WORKER_KINDS
+            and s.chunk in (None, chunk)
+            and (s.shard is None or shard is None or s.shard == shard)
+            and attempt < s.times
+        )
+
+    def arena_faults(self, attempt: int) -> tuple[FaultSpec, ...]:
+        return tuple(
+            s for s in self.specs if s.kind == "arena" and attempt < s.times
+        )
+
+    def ingest_faults(
+        self, segment: int, attempt: int
+    ) -> tuple[FaultSpec, ...]:
+        return tuple(
+            s
+            for s in self.specs
+            if s.kind == "ingest"
+            and s.segment in (None, segment)
+            and attempt < s.times
+        )
+
+    def update_faults(self, batch: int, attempt: int) -> tuple[FaultSpec, ...]:
+        return tuple(
+            s
+            for s in self.specs
+            if s.kind == "update"
+            and s.batch in (None, batch)
+            and attempt < s.times
+        )
+
+    def for_segment(self, segment: int) -> "FaultPlan | None":
+        """The worker/arena/update sub-plan for one stream segment.
+
+        A spec without a ``segment`` targets the first segment (segment
+        0 — also the whole run of a one-shot ``classify``).  Ingest
+        specs are excluded: they belong to the ingestion thread, not to
+        per-segment pipeline runs.
+        """
+        specs = tuple(
+            s
+            for s in self.specs
+            if s.kind != "ingest"
+            and (s.segment if s.segment is not None else 0) == segment
+        )
+        if not specs:
+            return None
+        return FaultPlan(specs=specs, seed=self.seed)
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "specs": [s.to_dict() for s in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"FaultPlan.from_dict expects a dict, "
+                f"got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - {"seed", "specs"})
+        if unknown:
+            raise ConfigError(
+                f"unknown FaultPlan field(s): {', '.join(unknown)}"
+            )
+        specs = []
+        for raw in data.get("specs", ()):
+            known = {f.name for f in fields(FaultSpec)}
+            bad = sorted(set(raw) - known)
+            if bad:
+                raise ConfigError(
+                    f"unknown FaultSpec field(s): {', '.join(bad)}"
+                )
+            specs.append(FaultSpec(**raw))
+        return cls(specs=tuple(specs), seed=int(data.get("seed", 0)))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as fh:
+            try:
+                data = json.load(fh)
+            except ValueError as exc:
+                raise ConfigError(f"{path}: not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def coerce(cls, obj) -> "FaultPlan | None":
+        """Normalise a run's ``faults=`` argument: a plan, a dict, a
+        list of specs, a path string, or None."""
+        if obj is None or isinstance(obj, cls):
+            return obj or None
+        if isinstance(obj, str):
+            return cls.load(obj)
+        if isinstance(obj, dict):
+            return cls.from_dict(obj)
+        if isinstance(obj, (list, tuple)):
+            return cls(specs=tuple(obj)) or None
+        raise ConfigError(
+            f"cannot build a FaultPlan from {type(obj).__name__}"
+        )
+
+
+# ----------------------------------------------------------------------
+def fire_worker_specs(
+    specs: tuple[FaultSpec, ...],
+    *,
+    in_process: bool,
+    chunk: int | None = None,
+    shard: int | None = None,
+    timeout_s: float = 0.0,
+) -> None:
+    """Execute worker-side fault specs at a chunk-serving site.
+
+    ``in_process=True`` (thread tier, inline tier) maps ``crash`` to a
+    raised :class:`InjectedFault` — a thread cannot kill itself without
+    taking the process down — and emulates the hang watchdog: the site
+    sleeps up to the deadline and raises
+    :class:`~repro.core.errors.ChunkTimeoutError` when the injected
+    hang outlasts it.  In a forked worker ``crash`` is a real
+    ``os._exit`` and ``hang`` a real sleep; detection is the parent
+    supervisor's job.
+    """
+    for spec in specs:
+        if spec.kind == "crash":
+            if in_process:
+                raise InjectedFault(
+                    spec.message
+                    or f"injected crash while serving chunk {chunk}",
+                    kind="crash", chunk=chunk, shard=shard,
+                )
+            os._exit(CRASH_EXIT_CODE)
+        elif spec.kind == "hang":
+            if in_process and timeout_s and spec.seconds > timeout_s:
+                time.sleep(timeout_s)
+                raise ChunkTimeoutError(
+                    f"injected hang ({spec.seconds:.2f}s) outlasted the "
+                    f"{timeout_s:.2f}s chunk deadline",
+                    chunk=chunk, shard=shard, cause="hang",
+                )
+            time.sleep(spec.seconds)
+        elif spec.kind == "error":
+            raise InjectedFault(
+                spec.message or f"injected error while serving chunk {chunk}",
+                kind="error", chunk=chunk, shard=shard,
+            )
+
+
+def fire_update_specs(
+    specs: tuple[FaultSpec, ...], batch: int
+) -> None:
+    """Raise the injected update-apply failure, if any (fires *before*
+    the apply, so a retry re-applies a clean batch)."""
+    for spec in specs:
+        raise InjectedFault(
+            spec.message or f"injected failure applying update batch {batch}",
+            kind="update", chunk=batch,
+        )
+
+
+def fire_ingest_specs(
+    specs: tuple[FaultSpec, ...], segment: int
+) -> None:
+    """Raise the injected ingestion failure, if any (fires *before* the
+    source is pulled, so the source iterator survives a retry)."""
+    for spec in specs:
+        raise IngestError(
+            spec.message or f"injected I/O error fetching segment {segment}",
+            segment=segment,
+            cause=spec.kind,
+        )

@@ -58,6 +58,23 @@ is the epoch grid.  Independently, a final chunk smaller than a quarter
 of the chunk size is merged into its predecessor — a tiny tail pays
 full dispatch cost otherwise.
 
+**Fault tolerance.**  Construct with a
+:class:`~repro.engine.supervision.SupervisionPolicy` (the engine builds
+one from ``EngineConfig.fault_policy``/``max_retries``/
+``chunk_timeout_s``) and every dispatch is supervised: per-chunk
+deadlines, worker exit-code watch, bounded retry with seeded backoff,
+and — under ``fault_policy="degrade"`` — the worker-tier ladder
+``persistent -> processes -> threads -> inline``.  A fork-tier retry
+tears the pool down and re-forks from the parent, whose classifier is
+only caught up *after* a successful dispatch, so every replayed chunk
+re-applies its exact update prefix and the run stays bit-identical to
+a fault-free one.  The persistent arena carries a generation fence +
+checksum control word each task descriptor repeats, so a replayed
+attach can never silently read a torn or stale segment.  Injected
+faults (:mod:`repro.engine.faults`) ride the same machinery via
+``run(trace, faults=plan)``; everything observed lands in
+``PipelineResult.fault``.
+
 **Live rule updates.**  ``run(trace, updates=[...])`` interleaves a
 :class:`~repro.core.updates.ScheduledUpdate` stream with classification:
 each batch takes effect at the first chunk boundary at or after its
@@ -83,10 +100,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.errors import ConfigError
+from ..core.errors import ArenaCorruptionError, ConfigError
 from ..core.packet import PacketTrace
 from ..core.updates import RuleUpdate, ScheduledUpdate
+from .faults import FaultPlan, fire_update_specs, fire_worker_specs
 from .protocol import BatchStats, Classifier, batch_stats_of, warm_batch_state
+from .supervision import (
+    DEGRADATION_LADDER,
+    RECOVERABLE,
+    FaultReport,
+    SupervisionPolicy,
+    Supervisor,
+    supervised_map,
+    teardown_pool,
+)
 
 #: Default packets per chunk: large enough to amortise NumPy dispatch,
 #: small enough that per-chunk stats stay meaningful for live reporting.
@@ -168,16 +195,18 @@ def _apply_pending(
 
 
 def _run_chunk(task) -> ChunkOutput:
-    bounds, pending = task
+    index, bounds, pending, specs = task
     assert _SHARD_STATE is not None
     classifier, headers = _SHARD_STATE
+    if specs:
+        fire_worker_specs(specs, in_process=False, chunk=index)
     if pending:
         _apply_pending(classifier, pending)
     match, occ, cache = _run_chunk_local(classifier, headers, bounds)
     return match, occ, cache, os.getpid()
 
 
-def _attach_arena(names: tuple[str, str, str]):
+def _attach_arena(names: tuple[str, ...]):
     """Return this worker's mapped arena segments, (re)attaching only
     when the segment names changed (the parent grew the arena).
 
@@ -209,17 +238,39 @@ def _run_chunk_shm(task) -> tuple[bool, tuple[int, int, int] | None, int]:
     aggregates everything else from the shared arrays).
 
     The task is a tiny descriptor — segment names, the trace shape, the
-    chunk bounds and the update prefix.  In steady state (arena
-    unchanged since the last run) the worker's cached attachment is
-    reused, so no ``shm_open``/``mmap`` happens at all; the headers and
-    output views are zero-copy windows into the shared segments.
+    chunk bounds, the update prefix, the arena's expected control word
+    and any injected fault specs.  In steady state (arena unchanged
+    since the last run) the worker's cached attachment is reused, so no
+    ``shm_open``/``mmap`` happens at all; the headers and output views
+    are zero-copy windows into the shared segments.
+
+    Before reading the trace the worker verifies the arena's control
+    segment — a (generation, checksum) pair the parent wrote *after*
+    the trace — against the values repeated in this task.  A mismatch
+    means the attach would read a torn or stale arena (e.g. a replayed
+    chunk racing an arena growth), and raises
+    :class:`~repro.core.errors.ArenaCorruptionError` instead of
+    silently serving garbage.
     """
-    names, shape, dtype, bounds, pending = task
+    names, shape, dtype, index, bounds, pending, ctl_expected, specs = task
     assert _SHARD_STATE is not None
     classifier = _SHARD_STATE[0]
+    if specs:
+        fire_worker_specs(specs, in_process=False, chunk=index)
     if pending:
         _apply_pending(classifier, pending)
     segs = _attach_arena(names)
+    ctl = np.ndarray((2,), np.uint64, buffer=segs[3].buf)
+    seen = (int(ctl[0]), int(ctl[1]))
+    if seen != tuple(ctl_expected):
+        raise ArenaCorruptionError(
+            f"arena fence mismatch serving chunk {index}: "
+            f"generation/checksum {seen[0]}/{seen[1]:#x} != expected "
+            f"{ctl_expected[0]}/{ctl_expected[1]:#x}",
+            chunk=index,
+            shard=os.getpid(),
+            cause="arena",
+        )
     n = shape[0]
     start, end = bounds
     headers = np.ndarray(shape, dtype=dtype, buffer=segs[0].buf)
@@ -324,6 +375,10 @@ class PipelineResult:
     #: in schedule order (the control-plane apply cost: tree surgery +
     #: kernel patch + cache epoch bump).  Empty when no updates ran.
     update_latencies_s: tuple[float, ...] = ()
+    #: Supervisor observations for the run (retries, replays,
+    #: degradations, crash counts, recovery latencies).  ``None`` on an
+    #: unsupervised run; zero-counted on a supervised fault-free one.
+    fault: FaultReport | None = field(default=None, repr=False)
 
     @property
     def n_packets(self) -> int:
@@ -427,6 +482,7 @@ class ClassificationPipeline:
         persistent: bool = False,
         shard_mode: str = "processes",
         min_chunk_packets: int = 0,
+        policy: SupervisionPolicy | None = None,
     ) -> None:
         if chunk_size < 1:
             raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -447,12 +503,24 @@ class ClassificationPipeline:
         self.persistent = persistent
         self.shard_mode = shard_mode
         self.min_chunk_packets = min_chunk_packets
+        #: Fault-handling policy; ``None`` keeps the historical
+        #: unsupervised dispatch (a fault propagates raw).  Passing a
+        #: :class:`~repro.engine.supervision.SupervisionPolicy` — or a
+        #: ``faults=`` plan to :meth:`run` — routes every dispatch
+        #: through the supervisor.
+        self.policy = policy
+        self._supervisor = Supervisor(policy) if policy is not None else None
         self._pool = None
         self._pool_size = 0
         #: Pipeline-lifetime shared-memory arena for the persistent
-        #: pool: ``{"names": (in, out, occ), "segs": [...]}``, grown
-        #: (re-created larger) only when a trace outsizes it.
+        #: pool: ``{"names": (in, out, occ, ctl), "segs": [...]}``,
+        #: grown (re-created larger) only when a trace outsizes it.  The
+        #: ctl segment holds the (generation, checksum) fence pair.
         self._arena: dict | None = None
+        #: Monotonic arena-content generation: bumped every time the
+        #: parent (re)writes the input segment, never reset, so a stale
+        #: attach can never present a valid fence.
+        self._arena_generation = 0
         #: Thread-tier per-shard flow-cache clones, persisted across
         #: runs so shard caches stay warm, plus the backend epoch they
         #: were last synchronised against.
@@ -471,10 +539,16 @@ class ClassificationPipeline:
     # -- persistent-pool lifecycle --------------------------------------
     def close(self) -> None:
         """Tear down the persistent worker pool and its shared-memory
-        arena (no-op otherwise)."""
+        arena (no-op otherwise).
+
+        Teardown is bounded: after ``terminate()`` every worker is
+        joined against a shared deadline and SIGKILLed if it overstays
+        (a hung or crash-looping worker cannot wedge ``close()``), and
+        the arena segments are unlinked unconditionally afterwards so
+        an abnormal exit leaks no shared memory.
+        """
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            teardown_pool(self._pool, deadline_s=5.0)
             self._pool = None
             self._pool_size = 0
         self._release_arena()
@@ -489,7 +563,9 @@ class ClassificationPipeline:
     def __del__(self):  # pragma: no cover - interpreter-shutdown path
         try:
             self.close()
-        except Exception:
+        except (OSError, ValueError, TypeError, AttributeError):
+            # Interpreter teardown may have dismantled multiprocessing /
+            # shared_memory internals under us; nothing left to reap.
             pass
 
     def _ensure_pool(self, ndim: int):
@@ -507,7 +583,7 @@ class ClassificationPipeline:
                 from multiprocessing import resource_tracker
 
                 resource_tracker.ensure_running()
-            except Exception:  # pragma: no cover - tracker is stdlib
+            except (OSError, RuntimeError):  # pragma: no cover - tracker spawn
                 pass
             # Build every lazy batch structure before forking so workers
             # inherit them copy-on-write.
@@ -560,9 +636,23 @@ class ClassificationPipeline:
                 )
                 for size in (need_in, need_out, need_out)
             ]
+            # Control segment: (generation, checksum) — exactly two
+            # uint64 words, no growth slack needed.
+            segs.append(shared_memory.SharedMemory(create=True, size=16))
             a = {"names": tuple(s.name for s in segs), "segs": segs}
             self._arena = a
         return a
+
+    def _seal_arena(self, arena: dict, headers: np.ndarray) -> tuple[int, int]:
+        """Write the arena control word *after* the trace: a fresh
+        generation number plus a content checksum.  Returns the pair for
+        task descriptors — workers verify it before reading."""
+        self._arena_generation += 1
+        checksum = int(headers.sum(dtype=np.uint64))
+        ctl = np.ndarray((2,), np.uint64, buffer=arena["segs"][3].buf)
+        ctl[0] = self._arena_generation
+        ctl[1] = checksum
+        return (self._arena_generation, checksum)
 
     # ------------------------------------------------------------------
     def _chunk_bounds(
@@ -669,19 +759,65 @@ class ClassificationPipeline:
             ))
         return entries
 
+    def _apply_entry(
+        self,
+        entry: _ScheduledEntry,
+        ordinal: int,
+        latencies: list[float],
+        plan: FaultPlan | None = None,
+        report: FaultReport | None = None,
+    ):
+        """Apply one update batch to this process's classifier,
+        watermarked (a batch an earlier tier or chunk loop already
+        applied is skipped — returns ``None``) and supervised: an
+        injected update fault fires *before* the apply, so a bounded
+        retry re-applies a clean batch.  Per-batch apply seconds are
+        appended to ``latencies``."""
+        if entry.seq <= self._applied_seq:
+            return None
+        sup = self._supervisor
+        attempt = 0
+        while True:
+            try:
+                if plan is not None:
+                    specs = plan.update_faults(ordinal, attempt)
+                    if specs:
+                        fire_update_specs(specs, ordinal)
+                t0 = time.perf_counter()
+                result = self.classifier.apply_updates(entry.batch)
+                latencies.append(time.perf_counter() - t0)
+                self._applied_seq = entry.seq
+                return result
+            except RECOVERABLE as exc:
+                retriable = (
+                    sup is not None
+                    and sup.policy.fault_policy != "fail"
+                    and attempt < sup.policy.max_retries
+                )
+                if not retriable:
+                    raise (sup or Supervisor()).wrap_failure(
+                        exc, tier="update", chunk=ordinal
+                    ) from exc
+                if report is not None:
+                    report.update_retries += 1
+                time.sleep(sup.backoff_s(attempt))
+                attempt += 1
+
     def _parent_apply(
-        self, entries: list[_ScheduledEntry], latencies: list[float]
+        self,
+        entries: list[_ScheduledEntry],
+        latencies: list[float],
+        plan: FaultPlan | None = None,
+        report: FaultReport | None = None,
     ) -> list:
         """Apply ``entries`` to this process's classifier (watermarked,
         so batches a fallback chunk loop already applied are skipped).
         Per-batch apply seconds are appended to ``latencies``."""
         results = []
-        for entry in entries:
-            if entry.seq > self._applied_seq:
-                t0 = time.perf_counter()
-                results.append(self.classifier.apply_updates(entry.batch))
-                latencies.append(time.perf_counter() - t0)
-                self._applied_seq = entry.seq
+        for ordinal, entry in enumerate(entries):
+            result = self._apply_entry(entry, ordinal, latencies, plan, report)
+            if result is not None:
+                results.append(result)
         return results
 
     def _chunk_prefixes(
@@ -700,14 +836,189 @@ class ClassificationPipeline:
             prefixes.append(tuple(acc))
         return prefixes
 
+    # -- tier selection & supervised dispatch ---------------------------
+    def _select_tier(self, n_chunks: int) -> str:
+        """The worker tier this run starts on (mirrors the historical
+        dispatch branch exactly — supervision changes *recovery*, never
+        the fault-free tier choice)."""
+        multi = self.shards > 1 and n_chunks > 1
+        if multi:
+            if self.shard_mode == "threads":
+                return "threads"
+            if self._fork_available() and self._fork_engages(n_chunks):
+                return "persistent" if self.persistent else "processes"
+        return "inline"
+
+    def _tier_available(self, tier: str) -> bool:
+        if tier in ("persistent", "processes"):
+            return self._fork_available()
+        return True
+
+    def _timeout_s(self) -> float:
+        if self._supervisor is None:
+            return 0.0
+        return self._supervisor.policy.chunk_timeout_s
+
+    def _supervised(self, plan: FaultPlan | None) -> bool:
+        """Whether dispatches route through the supervisor: either a
+        policy was configured or this run injects faults (a plan
+        without a policy gets fail-fast supervision — typed errors,
+        no silent hangs, no retries)."""
+        return self._supervisor is not None or plan is not None
+
+    @staticmethod
+    def _chunk_specs(plan: FaultPlan | None, n_chunks: int, attempt: int):
+        """Per-chunk injected-fault specs for one dispatch attempt,
+        resolved in the parent and shipped inside the task descriptors
+        so workers need no shared plan state."""
+        if plan is None:
+            return [()] * n_chunks
+        return [plan.worker_faults(i, attempt) for i in range(n_chunks)]
+
+    def _run_supervised(
+        self,
+        tier: str,
+        headers: np.ndarray,
+        bounds: list[tuple[int, int]],
+        entries: list[_ScheduledEntry],
+        update_results: list,
+        update_latencies: list[float],
+        plan: FaultPlan | None,
+    ) -> tuple[list[ChunkOutput], int, FaultReport, str]:
+        """Dispatch with recovery: bounded same-tier retries, then —
+        under ``fault_policy="degrade"`` — the tier ladder.
+
+        Whole-dispatch replay is safe exactly because the parent's
+        classifier is caught up only *after* a successful fork-tier
+        dispatch: a failed attempt leaves the parent at the pre-run
+        epoch, the retry re-forks from that snapshot, and every task
+        re-ships its chunk's exact update prefix.  The thread and
+        inline tiers apply updates *mid*-dispatch instead, so their
+        recovery is per-chunk (inside the tier) — if one of them still
+        fails after updates took effect, replay would serve early
+        chunks against a later epoch, and the supervisor chooses a
+        typed error over silently breaking bit-identity.
+        """
+        sup = self._supervisor or Supervisor()
+        policy = sup.policy
+        report = FaultReport()
+        ladder = [tier]
+        if policy.fault_policy == "degrade":
+            start = DEGRADATION_LADDER.index(tier)
+            ladder = [
+                t for t in DEGRADATION_LADDER[start:]
+                if self._tier_available(t)
+            ]
+        seq_before = self._applied_seq
+        last_exc: BaseException | None = None
+        detected = 0.0
+        for rung, t in enumerate(ladder):
+            if rung:
+                report.degradations.append(
+                    f"{ladder[rung - 1]}->{t}:{type(last_exc).__name__}"
+                )
+                report.replays += len(bounds)
+                report.recovery_s.append(time.perf_counter() - detected)
+            attempt = 0
+            while True:
+                try:
+                    outputs, workers = self._run_tier(
+                        t, headers, bounds, entries,
+                        update_results, update_latencies,
+                        plan=plan, attempt=attempt, report=report,
+                    )
+                    return outputs, workers, report, t
+                except RECOVERABLE as exc:
+                    detected = time.perf_counter()
+                    last_exc = exc
+                    report.record_failure(exc)
+                    if t == "persistent":
+                        # The failed dispatch poisons the long-lived
+                        # pool (and possibly the arena); reap both so
+                        # the next attempt re-forks from the parent
+                        # snapshot and reseals a fresh arena.
+                        self.close()
+                    if policy.fault_policy == "fail":
+                        raise sup.wrap_failure(exc, tier=t) from exc
+                    if self._applied_seq != seq_before:
+                        raise sup.wrap_failure(exc, tier=t) from exc
+                    if attempt < policy.max_retries:
+                        report.retries += 1
+                        report.replays += len(bounds)
+                        time.sleep(sup.backoff_s(attempt))
+                        report.recovery_s.append(
+                            time.perf_counter() - detected
+                        )
+                        attempt += 1
+                        continue
+                    break  # retries exhausted on this tier
+        raise sup.wrap_failure(last_exc, tier=ladder[-1]) from last_exc
+
+    def _run_tier(
+        self,
+        tier: str,
+        headers: np.ndarray,
+        bounds: list[tuple[int, int]],
+        entries: list[_ScheduledEntry],
+        update_results: list,
+        update_latencies: list[float],
+        *,
+        plan: FaultPlan | None,
+        attempt: int,
+        report: FaultReport | None,
+    ) -> tuple[list[ChunkOutput], int]:
+        """One full dispatch attempt on one worker tier, including the
+        tier's update-application contract."""
+        if tier == "threads":
+            outputs, workers = self._run_threads(
+                headers, bounds, entries, update_results, update_latencies,
+                plan=plan, attempt=attempt, report=report,
+            )
+            # Batches scheduled past the last chunk apply after the trace.
+            update_results.extend(
+                self._parent_apply(entries, update_latencies, plan, report)
+            )
+        elif tier in ("persistent", "processes"):
+            if tier == "persistent":
+                outputs, workers = self._run_persistent(
+                    headers, bounds, entries, plan=plan, attempt=attempt
+                )
+            else:
+                outputs, workers = self._run_forked(
+                    headers, bounds, entries, plan=plan, attempt=attempt
+                )
+            # The parent's copy catches up after the run (its state then
+            # matches the workers', and later forks inherit it).  On a
+            # failed dispatch this is never reached — which is what
+            # makes whole-dispatch replay epoch-safe.
+            update_results.extend(
+                self._parent_apply(entries, update_latencies, plan, report)
+            )
+        else:
+            outputs, workers = self._run_inline(
+                headers, bounds, entries, update_results, update_latencies,
+                plan=plan, attempt=attempt, report=report,
+            )
+        return outputs, workers
+
     # ------------------------------------------------------------------
-    def run(self, trace: PacketTrace, updates=None) -> PipelineResult:
+    def run(
+        self, trace: PacketTrace, updates=None, faults=None
+    ) -> PipelineResult:
         """Classify ``trace``, optionally interleaving a rule-update
         stream; results are in trace order regardless of shard
         scheduling, and every chunk is classified against one
-        well-defined ruleset epoch."""
+        well-defined ruleset epoch.
+
+        ``faults`` injects a deterministic
+        :class:`~repro.engine.faults.FaultPlan` (or dict / spec list /
+        path) into this run's dispatches; recovery follows the
+        pipeline's supervision policy, and ``PipelineResult.fault``
+        accounts for everything observed.
+        """
         from .updates import is_updatable
 
+        plan = FaultPlan.coerce(faults)
         headers = trace.headers
         n = headers.shape[0]
         bounds = self._chunk_bounds(
@@ -721,54 +1032,25 @@ class ClassificationPipeline:
             int(getattr(self.classifier, "update_epoch", 0))
             if is_updatable(self.classifier) else None
         )
-        update_results = []
+        update_results: list = []
         update_latencies: list[float] = []
-        multi = self.shards > 1 and len(bounds) > 1
-        forked_transient = False
+        tier = self._select_tier(len(bounds))
+        fault_report: FaultReport | None = None
         started = time.perf_counter()
-        if multi and self.shard_mode == "threads":
-            outputs, workers = self._run_threads(
-                headers, bounds, entries, update_results, update_latencies
-            )
-            # Batches scheduled past the last chunk apply after the trace.
-            update_results.extend(
-                self._parent_apply(entries, update_latencies)
-            )
-        elif (
-            multi
-            and self._fork_available()
-            and self._fork_engages(len(bounds))
-        ):
-            if self.persistent:
-                outputs, workers = self._run_persistent(
-                    headers, bounds, entries
+        if self._supervised(plan):
+            outputs, workers, fault_report, served_tier = (
+                self._run_supervised(
+                    tier, headers, bounds, entries,
+                    update_results, update_latencies, plan,
                 )
-            else:
-                outputs, workers = self._run_forked(headers, bounds, entries)
-                forked_transient = True
-            # The parent's copy catches up after the run (its state then
-            # matches the workers', and later forks inherit it).
-            update_results = self._parent_apply(entries, update_latencies)
+            )
         else:
-            outputs = []
-            idx = 0
-            for i, b in enumerate(bounds):
-                while idx < len(entries) and entries[idx].effect_chunk <= i:
-                    t0 = time.perf_counter()
-                    update_results.append(
-                        self.classifier.apply_updates(entries[idx].batch)
-                    )
-                    update_latencies.append(time.perf_counter() - t0)
-                    self._applied_seq = entries[idx].seq
-                    idx += 1
-                outputs.append(
-                    _run_chunk_local(self.classifier, headers, b) + (0,)
-                )
-            # Batches scheduled past the last chunk apply after the trace.
-            update_results.extend(
-                self._parent_apply(entries, update_latencies)
+            served_tier = tier
+            outputs, workers = self._run_tier(
+                tier, headers, bounds, entries,
+                update_results, update_latencies,
+                plan=None, attempt=0, report=None,
             )
-            workers = 1
         if entries and self._pool is not None:
             # Keep the long-lived workers replayable: later runs ship
             # these batches too (applied-at-most-once via the watermark).
@@ -785,9 +1067,10 @@ class ClassificationPipeline:
             entries=entries, base_epoch=base_epoch,
             update_results=update_results,
             update_latencies=update_latencies,
+            fault=fault_report,
         )
         if (
-            forked_transient
+            served_tier == "processes"
             and not entries
             and result.cache_hits is not None
             and hasattr(self.classifier, "warm_from_run")
@@ -806,6 +1089,9 @@ class ClassificationPipeline:
         headers: np.ndarray,
         bounds: list[tuple[int, int]],
         entries: list[_ScheduledEntry] | None = None,
+        *,
+        plan: FaultPlan | None = None,
+        attempt: int = 0,
     ) -> tuple[list[ChunkOutput], int]:
         import multiprocessing
 
@@ -817,13 +1103,18 @@ class ClassificationPipeline:
         # them copy-on-write instead of each rebuilding them.
         warm_batch_state(self.classifier, headers.shape[1])
         prefixes = self._chunk_prefixes(bounds, entries or [])
+        specs = self._chunk_specs(plan, len(bounds), attempt)
+        tasks = list(zip(range(len(bounds)), bounds, prefixes, specs))
         _SHARD_STATE = (self.classifier, headers)
         _WORKER_SEQ = self._applied_seq
         try:
             with ctx.Pool(processes=workers) as pool:
-                return pool.map(
-                    _run_chunk, list(zip(bounds, prefixes))
-                ), workers
+                if self._supervised(plan):
+                    return supervised_map(
+                        pool, _run_chunk, tasks,
+                        timeout_s=self._timeout_s(),
+                    ), workers
+                return pool.map(_run_chunk, tasks), workers
         finally:
             _SHARD_STATE = None
 
@@ -832,6 +1123,9 @@ class ClassificationPipeline:
         headers: np.ndarray,
         bounds: list[tuple[int, int]],
         entries: list[_ScheduledEntry] | None = None,
+        *,
+        plan: FaultPlan | None = None,
+        attempt: int = 0,
     ) -> tuple[list[ChunkOutput], int]:
         """One run over the long-lived pool with arena transport.
 
@@ -845,17 +1139,35 @@ class ClassificationPipeline:
         pool = self._ensure_pool(headers.shape[1])
         arena = self._ensure_arena(headers)
         prefixes = self._chunk_prefixes(bounds, entries or [])
+        specs = self._chunk_specs(plan, len(bounds), attempt)
         n = headers.shape[0]
         names = arena["names"]
-        shm_in, shm_out, shm_occ = arena["segs"]
+        shm_in, shm_out, shm_occ, shm_ctl = arena["segs"]
         np.ndarray(headers.shape, headers.dtype, buffer=shm_in.buf)[:] = (
             headers
         )
+        ctl_expected = self._seal_arena(arena, headers)
+        if plan is not None and plan.arena_faults(attempt):
+            # Injected corruption: flip checksum bits *after* sealing —
+            # to the workers' fence check this is exactly what a torn
+            # or stale arena write looks like.
+            ctl = np.ndarray((2,), np.uint64, buffer=shm_ctl.buf)
+            ctl[1] = ctl[1] ^ np.uint64(0xDEAD)
         tasks = [
-            (names, headers.shape, str(headers.dtype), b, pending)
-            for b, pending in zip(bounds, prefixes)
+            (
+                names, headers.shape, str(headers.dtype),
+                i, b, pending, ctl_expected, sp,
+            )
+            for i, (b, pending, sp) in enumerate(
+                zip(bounds, prefixes, specs)
+            )
         ]
-        results = pool.map(_run_chunk_shm, tasks)
+        if self._supervised(plan):
+            results = supervised_map(
+                pool, _run_chunk_shm, tasks, timeout_s=self._timeout_s()
+            )
+        else:
+            results = pool.map(_run_chunk_shm, tasks)
         match = np.ndarray((n,), np.int64, buffer=shm_out.buf).copy()
         has_occ = all(r[0] for r in results)
         occupancy = (
@@ -907,6 +1219,10 @@ class ClassificationPipeline:
         entries: list[_ScheduledEntry],
         update_results: list,
         update_latencies: list[float],
+        *,
+        plan: FaultPlan | None = None,
+        attempt: int = 0,
+        report: FaultReport | None = None,
     ) -> tuple[list[ChunkOutput], int]:
         """One run over a shard-affine thread pool.
 
@@ -916,44 +1232,67 @@ class ClassificationPipeline:
         epoch barriers: all chunks of one epoch drain before the batch
         applies on the (serving) thread, then every shard cache is
         epoch-invalidated — identical matches to the other modes.
+
+        Supervision is per shard group: a failed or deadline-overrun
+        future's chunks are re-served inline on the parent classifier —
+        still strictly between the same two update barriers, so the
+        replay stays in its epoch.  A hung worker thread cannot be
+        killed, so its executor is abandoned (``shutdown(wait=False)``)
+        and replaced; the abandoned future's eventual result is never
+        read, making its late writes harmless.
         """
         from concurrent.futures import ThreadPoolExecutor
+        from concurrent.futures import TimeoutError as FutureTimeout
 
+        from ..core.errors import ChunkTimeoutError
+
+        sup = self._supervisor
+        timeout = self._timeout_s()
         workers = min(self.shards, len(bounds))
         clones = self._ensure_thread_clones(workers)
         cached = clones[0] is not self.classifier
         outputs: list[ChunkOutput | None] = [None] * len(bounds)
 
         def _shard_serve(clone, chunk_ids, shard):
-            return [
-                (i, _run_chunk_local(clone, headers, bounds[i]) + (shard,))
-                for i in chunk_ids
-            ]
+            out = []
+            for i in chunk_ids:
+                if plan is not None:
+                    specs = plan.worker_faults(i, attempt, shard=shard)
+                    if specs:
+                        fire_worker_specs(
+                            specs, in_process=True, chunk=i, shard=shard,
+                            timeout_s=timeout,
+                        )
+                out.append(
+                    (i, _run_chunk_local(clone, headers, bounds[i]) + (shard,))
+                )
+            return out
 
         n_chunks = len(bounds)
         idx = 0
         start = 0
-        with ThreadPoolExecutor(
+        pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-shard"
-        ) as pool:
+        )
+        abandoned = False
+        try:
             while start < n_chunks:
                 while (
                     idx < len(entries)
                     and entries[idx].effect_chunk <= start
                 ):
                     entry = entries[idx]
-                    t0 = time.perf_counter()
-                    update_results.append(
-                        self.classifier.apply_updates(entry.batch)
+                    result = self._apply_entry(
+                        entry, idx, update_latencies, plan, report
                     )
-                    update_latencies.append(time.perf_counter() - t0)
-                    self._applied_seq = entry.seq
-                    if cached:
-                        for clone in clones:
-                            clone.cache.advance_epoch()
-                        self._thread_epoch = int(
-                            getattr(self.classifier, "update_epoch", 0)
-                        )
+                    if result is not None:
+                        update_results.append(result)
+                        if cached:
+                            for clone in clones:
+                                clone.cache.advance_epoch()
+                            self._thread_epoch = int(
+                                getattr(self.classifier, "update_epoch", 0)
+                            )
                     idx += 1
                 stop = n_chunks
                 if idx < len(entries) and entries[idx].effect_chunk < stop:
@@ -961,18 +1300,161 @@ class ClassificationPipeline:
                 # Flush lazily-patched kernel state on the serving thread
                 # before shards walk the structures concurrently.
                 warm_batch_state(self.classifier, headers.shape[1])
-                group = range(start, stop)
+                group = list(range(start, stop))
                 futures = [
-                    pool.submit(
-                        _shard_serve, clones[s], list(group)[s::workers], s
-                    )
+                    (s, group[s::workers],
+                     pool.submit(_shard_serve, clones[s], group[s::workers], s))
                     for s in range(workers)
                 ]
-                for fut in futures:
-                    for i, out in fut.result():
+                for s, ids, fut in futures:
+                    deadline = timeout * max(1, len(ids)) if timeout else None
+                    try:
+                        served = fut.result(timeout=deadline)
+                    except FutureTimeout:
+                        exc = ChunkTimeoutError(
+                            f"thread shard {s} exceeded its {deadline:.2f}s "
+                            f"group deadline ({len(ids)} chunks)",
+                            shard=s, cause="timeout",
+                        )
+                        served = self._thread_fallback(
+                            exc, s, ids, headers, bounds, plan, attempt,
+                            report, sup,
+                        )
+                        # The hung worker thread is a write-off: swap in
+                        # a fresh executor for the remaining groups and
+                        # abandon the old one without joining it.
+                        stale = pool
+                        pool = ThreadPoolExecutor(
+                            max_workers=workers,
+                            thread_name_prefix="repro-shard",
+                        )
+                        stale.shutdown(wait=False)
+                        abandoned = True
+                    except RECOVERABLE as exc:
+                        served = self._thread_fallback(
+                            exc, s, ids, headers, bounds, plan, attempt,
+                            report, sup,
+                        )
+                    for i, out in served:
                         outputs[i] = out
                 start = stop
+        finally:
+            pool.shutdown(wait=not abandoned)
         return outputs, workers
+
+    def _thread_fallback(
+        self, exc, shard, chunk_ids, headers, bounds, plan, attempt,
+        report, sup,
+    ):
+        """Re-serve one failed thread shard's chunk group inline on the
+        parent classifier.  The group sits strictly between two update
+        barriers, so replaying it chunk-by-chunk stays in its epoch."""
+        if report is not None:
+            report.record_failure(exc, shard=shard)
+        if sup is None or sup.policy.fault_policy == "fail":
+            raise (sup or Supervisor()).wrap_failure(
+                exc, tier="threads", shard=shard
+            ) from exc
+        if report is not None:
+            report.retries += 1
+            report.replays += len(chunk_ids)
+        return [
+            (
+                i,
+                self._serve_chunk_inline(
+                    headers, bounds[i], i, plan, attempt + 1, report,
+                    shard=shard,
+                ) + (shard,),
+            )
+            for i in chunk_ids
+        ]
+
+    # -- inline tier ----------------------------------------------------
+    def _serve_chunk_inline(
+        self,
+        headers: np.ndarray,
+        b: tuple[int, int],
+        index: int,
+        plan: FaultPlan | None = None,
+        attempt: int = 0,
+        report: FaultReport | None = None,
+        shard: int | None = None,
+    ):
+        """Serve one chunk on the parent classifier with per-chunk
+        bounded retry (the inline tier, and the thread tier's fallback
+        path, both land here)."""
+        sup = self._supervisor
+        tries = 0
+        while True:
+            try:
+                if plan is not None:
+                    specs = plan.worker_faults(
+                        index, attempt + tries, shard=shard
+                    )
+                    if specs:
+                        fire_worker_specs(
+                            specs, in_process=True, chunk=index, shard=shard,
+                            timeout_s=self._timeout_s(),
+                        )
+                return _run_chunk_local(self.classifier, headers, b)
+            except RECOVERABLE as exc:
+                if report is not None:
+                    report.record_failure(exc, shard=shard)
+                retriable = (
+                    sup is not None
+                    and sup.policy.fault_policy != "fail"
+                    and tries < sup.policy.max_retries
+                )
+                if not retriable:
+                    raise (sup or Supervisor()).wrap_failure(
+                        exc, tier="inline", chunk=index, shard=shard
+                    ) from exc
+                if report is not None:
+                    report.retries += 1
+                    report.replays += 1
+                time.sleep(sup.backoff_s(tries))
+                tries += 1
+
+    def _run_inline(
+        self,
+        headers: np.ndarray,
+        bounds: list[tuple[int, int]],
+        entries: list[_ScheduledEntry],
+        update_results: list,
+        update_latencies: list[float],
+        *,
+        plan: FaultPlan | None = None,
+        attempt: int = 0,
+        report: FaultReport | None = None,
+    ) -> tuple[list[ChunkOutput], int]:
+        """Single-process serving loop — the ladder floor.  Updates are
+        interleaved at their chunk boundaries; under supervision each
+        *chunk* (not the dispatch) is retried, because batches already
+        applied mid-loop make whole-dispatch replay epoch-unsafe."""
+        outputs: list[ChunkOutput] = []
+        idx = 0
+        for i, b in enumerate(bounds):
+            while idx < len(entries) and entries[idx].effect_chunk <= i:
+                result = self._apply_entry(
+                    entries[idx], idx, update_latencies, plan, report
+                )
+                if result is not None:
+                    update_results.append(result)
+                idx += 1
+            outputs.append(
+                self._serve_chunk_inline(
+                    headers, b, i, plan, attempt, report
+                ) + (0,)
+            )
+        # Batches scheduled past the last chunk apply after the trace.
+        while idx < len(entries):
+            result = self._apply_entry(
+                entries[idx], idx, update_latencies, plan, report
+            )
+            if result is not None:
+                update_results.append(result)
+            idx += 1
+        return outputs, 1
 
     def _aggregate(
         self,
@@ -985,6 +1467,7 @@ class ClassificationPipeline:
         base_epoch: int | None = None,
         update_results: list | None = None,
         update_latencies: list[float] | None = None,
+        fault: FaultReport | None = None,
     ) -> PipelineResult:
         entries = entries or []
         # Epoch of chunk i = version at run start + batches in effect by
@@ -1056,6 +1539,7 @@ class ClassificationPipeline:
             final_epoch=(
                 None if base_epoch is None else base_epoch + len(entries)
             ),
+            fault=fault,
         )
 
 

@@ -16,9 +16,18 @@ as the internal executor underneath (``engine.pipeline``); new code
 should configure serving through this module.  See ``docs/engine.md``.
 """
 
+from ..engine.faults import FaultPlan, FaultSpec
+from ..engine.supervision import (
+    DEGRADATION_LADDER,
+    FAULT_POLICIES,
+    FaultReport,
+    SupervisionPolicy,
+)
 from .config import ENERGY_MODELS, EngineConfig
 from .ingest import (
     DEFAULT_SEGMENT_PACKETS,
+    ON_MALFORMED,
+    QuarantineLog,
     iter_trace_file,
     iter_trace_segments,
 )
@@ -29,10 +38,18 @@ __all__ = [
     "ENERGY_MODELS",
     "EngineConfig",
     "DEFAULT_SEGMENT_PACKETS",
+    "ON_MALFORMED",
+    "QuarantineLog",
     "iter_trace_file",
     "iter_trace_segments",
     "EngineReport",
     "latency_percentiles",
     "ChunkResult",
     "Engine",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultReport",
+    "SupervisionPolicy",
+    "FAULT_POLICIES",
+    "DEGRADATION_LADDER",
 ]

@@ -13,6 +13,9 @@ replaces all of that with a single frozen dataclass that
   ``cache_max_age``),
 * selects the update policy (``updatable``) and the device energy model
   (``energy_model``),
+* sets the fault posture (``fault_policy``/``max_retries``/
+  ``chunk_timeout_s``/``on_malformed``) — see
+  :mod:`repro.engine.supervision`,
 
 and round-trips losslessly through every representation the repo uses:
 
@@ -41,6 +44,8 @@ from ..engine.pipeline import (
     SHARD_MODES,
 )
 from ..engine.registry import backend_spec
+from ..engine.supervision import FAULT_POLICIES
+from .ingest import ON_MALFORMED
 
 #: Device energy models ``EngineReport`` can evaluate a run against.
 ENERGY_MODELS = ("asic", "fpga", "none")
@@ -92,6 +97,24 @@ class EngineConfig:
     #: classifier, everything else serves updates by rebuild adaptation.
     updatable: bool = False
 
+    # -- fault handling --------------------------------------------------
+    #: What a serving fault (worker crash, chunk deadline overrun, arena
+    #: fence trip, injected fault) does: ``"fail"`` raises a typed
+    #: :class:`~repro.core.errors.ServingFaultError`, ``"retry"``
+    #: replays the dispatch (bounded, backed off) on the same tier,
+    #: ``"degrade"`` retries and then walks the worker-tier ladder
+    #: (persistent -> processes -> threads -> inline).
+    fault_policy: str = "fail"
+    #: Dispatch retries per tier before failing (or degrading).
+    max_retries: int = 2
+    #: Per-chunk dispatch deadline in seconds; 0 disables the deadline
+    #: (crash detection stays on).
+    chunk_timeout_s: float = 0.0
+    #: Malformed trace-line policy for file ingestion: ``"raise"``
+    #: aborts on the first bad line, ``"quarantine"`` dead-letters bad
+    #: lines (bounded, counted) and serves the rest.
+    on_malformed: str = "raise"
+
     # -- telemetry -------------------------------------------------------
     energy_model: str = "asic"
 
@@ -139,6 +162,25 @@ class EngineConfig:
             raise ConfigError(
                 f"cache_max_age must be >= 0 (0 = no aging), "
                 f"got {self.cache_max_age}"
+            )
+        if self.fault_policy not in FAULT_POLICIES:
+            raise ConfigError(
+                f"unknown fault_policy {self.fault_policy!r}; "
+                f"expected one of {', '.join(FAULT_POLICIES)}"
+            )
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.chunk_timeout_s < 0:
+            raise ConfigError(
+                f"chunk_timeout_s must be >= 0 (0 = no deadline), "
+                f"got {self.chunk_timeout_s}"
+            )
+        if self.on_malformed not in ON_MALFORMED:
+            raise ConfigError(
+                f"unknown on_malformed {self.on_malformed!r}; "
+                f"expected one of {', '.join(ON_MALFORMED)}"
             )
         if self.energy_model not in ENERGY_MODELS:
             raise ConfigError(
@@ -189,6 +231,10 @@ class EngineConfig:
             "--cache-entries", str(self.cache_entries),
             "--cache-ways", str(self.cache_ways),
             "--cache-max-age", str(self.cache_max_age),
+            "--fault-policy", self.fault_policy,
+            "--max-retries", str(self.max_retries),
+            "--chunk-timeout", repr(self.chunk_timeout_s),
+            "--on-malformed", self.on_malformed,
             "--energy-model", self.energy_model,
         ]
         if self.software:
@@ -230,5 +276,11 @@ class EngineConfig:
             ),
             updatable=bool(get("updatable", False))
             or bool(get("updates", 0)),
+            fault_policy=str(get("fault_policy", defaults.fault_policy)),
+            max_retries=int(get("max_retries", defaults.max_retries)),
+            chunk_timeout_s=float(
+                get("chunk_timeout", defaults.chunk_timeout_s)
+            ),
+            on_malformed=str(get("on_malformed", defaults.on_malformed)),
             energy_model=str(get("energy_model", defaults.energy_model)),
         )

@@ -19,6 +19,15 @@ sources:
 Both are plain generators: nothing is read or parsed until the consumer
 (or the ingestion thread) pulls the next segment, which is what bounds
 streamed memory at ``O(segment)`` instead of ``O(trace)``.
+
+**Malformed input.**  ``iter_trace_file(on_malformed="quarantine")``
+dead-letters bad lines into a bounded :class:`QuarantineLog` instead of
+aborting the stream: the segment's vectorised parse is retried line by
+line, well-formed rows are kept in order, and each rejected line is
+recorded with its absolute line number and reason (the buffer is
+bounded; overflow only counts).  The default ``"raise"`` keeps the
+historical contract — one bad line raises
+:class:`~repro.core.errors.PacketFormatError`.
 """
 
 from __future__ import annotations
@@ -36,6 +45,59 @@ from ..core.rules import FIVE_TUPLE, FieldSchema
 #: large enough to amortise per-run pipeline overhead, small enough to
 #: keep the ingestion/classification pipeline full.
 DEFAULT_SEGMENT_PACKETS = 65536
+
+#: The malformed-line policies ``iter_trace_file`` (and
+#: ``EngineConfig.on_malformed``) accept.
+ON_MALFORMED = ("raise", "quarantine")
+
+#: Dead-letter buffer bound: a quarantine log keeps at most this many
+#: rejected lines verbatim; everything beyond is counted only.
+DEFAULT_QUARANTINE_ENTRIES = 256
+
+
+class QuarantineLog:
+    """Bounded dead-letter buffer for malformed trace lines.
+
+    ``count`` is the total number of lines quarantined; ``entries``
+    retains the first ``max_entries`` of them as ``(lineno, text,
+    reason)`` triples (absolute 1-based line numbers); ``dropped`` is
+    how many overflowed the buffer and were counted only.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_QUARANTINE_ENTRIES) -> None:
+        if max_entries < 0:
+            raise ConfigError(
+                f"max_entries must be >= 0, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.entries: list[tuple[int, str, str]] = []
+        self.count = 0
+
+    def record(self, lineno: int, text: str, reason: str) -> None:
+        self.count += 1
+        if len(self.entries) < self.max_entries:
+            self.entries.append((lineno, text, reason))
+
+    @property
+    def dropped(self) -> int:
+        return self.count - len(self.entries)
+
+    def __bool__(self) -> bool:
+        return self.count > 0
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.count = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "dropped": self.dropped,
+            "entries": [
+                {"line": lineno, "text": text, "reason": reason}
+                for lineno, text, reason in self.entries
+            ],
+        }
 
 
 def _check_segment_size(segment_packets: int) -> None:
@@ -57,40 +119,102 @@ def iter_trace_segments(
         )
 
 
+def _salvage_lines(
+    lines: list[str], first_lineno: int, ndim: int, quarantine: QuarantineLog
+) -> list[list[int]]:
+    """Line-by-line fallback parse of a segment the vectorised parser
+    rejected (or that contained out-of-range values): well-formed rows
+    are kept in order, every rejected line is dead-lettered with its
+    absolute line number and reason."""
+    rows: list[list[int]] = []
+    for offset, line in enumerate(lines):
+        text = line.split("#", 1)[0].strip()
+        if not text:
+            continue
+        parts = text.split()
+        reason = None
+        row: list[int] = []
+        if len(parts) < ndim:
+            reason = f"expected >= {ndim} columns, got {len(parts)}"
+        else:
+            try:
+                row = [int(p) for p in parts[:ndim]]
+            except ValueError:
+                reason = "non-numeric header field"
+            else:
+                if any(v < 0 for v in row):
+                    reason = "negative header field"
+                elif any(v > 0xFFFFFFFF for v in row):
+                    reason = "header field out of 32-bit range"
+        if reason is None:
+            rows.append(row)
+        else:
+            quarantine.record(
+                first_lineno + offset, line.rstrip("\n"), reason
+            )
+    return rows
+
+
 def iter_trace_file(
     path: str,
     schema: FieldSchema = FIVE_TUPLE,
     segment_packets: int = DEFAULT_SEGMENT_PACKETS,
+    *,
+    on_malformed: str = "raise",
+    quarantine: QuarantineLog | None = None,
 ) -> Iterator[PacketTrace]:
     """Stream a ClassBench trace file as parsed segments.
 
     Each segment is parsed with one vectorised :func:`numpy.loadtxt`
     call over ``segment_packets`` lines (comments and blank lines are
     skipped, trailing columns beyond the schema — ClassBench's expected-
-    match id — are ignored).  Malformed lines raise
-    :class:`~repro.core.errors.PacketFormatError` like the classic
-    loader does.
+    match id — are ignored).  With the default ``on_malformed="raise"``
+    a malformed line raises :class:`~repro.core.errors.
+    PacketFormatError` like the classic loader; with ``"quarantine"``
+    the offending segment is re-parsed line by line, good rows are
+    served in order and bad lines are dead-lettered into ``quarantine``
+    (a fresh bounded :class:`QuarantineLog` when not supplied — pass
+    your own to read the counts back).
     """
     _check_segment_size(segment_packets)
+    if on_malformed not in ON_MALFORMED:
+        raise ConfigError(
+            f"unknown on_malformed {on_malformed!r}; "
+            f"expected one of {', '.join(ON_MALFORMED)}"
+        )
+    if quarantine is None:
+        quarantine = QuarantineLog()
     ndim = schema.ndim
     with open(path, "r", encoding="ascii") as fh:
+        lineno = 0
         while True:
             lines = list(itertools.islice(fh, segment_packets))
             if not lines:
                 return
+            first_lineno = lineno + 1
+            lineno += len(lines)
+            salvage = False
             try:
                 block = np.loadtxt(
                     lines, dtype=np.int64, usecols=range(ndim), ndmin=2,
                     comments="#",
                 )
             except ValueError as exc:
-                raise PacketFormatError(
-                    f"{path}: malformed trace segment: {exc}"
-                ) from None
+                if on_malformed == "raise":
+                    raise PacketFormatError(
+                        f"{path}: malformed trace segment: {exc}"
+                    ) from None
+                salvage = True
+            else:
+                if block.size and (block < 0).any():
+                    if on_malformed == "raise":
+                        raise PacketFormatError(
+                            f"{path}: negative header field in trace segment"
+                        )
+                    salvage = True
+            if salvage:
+                rows = _salvage_lines(lines, first_lineno, ndim, quarantine)
+                block = np.array(rows, dtype=np.int64).reshape(-1, ndim)
             if not block.size:
-                continue  # a segment of only comments/blank lines
-            if (block < 0).any():
-                raise PacketFormatError(
-                    f"{path}: negative header field in trace segment"
-                )
+                continue  # a segment of only comments/blank/bad lines
             yield PacketTrace(block.astype(np.uint32), schema)

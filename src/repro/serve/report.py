@@ -28,6 +28,7 @@ from ..engine.pipeline import (
     PipelineResult,
     aggregate_shard_cache_stats,
 )
+from ..engine.supervision import FaultReport
 
 #: The paper's device operating points used for report-side evaluation.
 _DEVICE_FREQ_HZ = {"asic": 226e6, "fpga": 77e6}
@@ -86,6 +87,12 @@ class EngineReport:
     update_skipped: int = 0
     final_epoch: int | None = None
     update_latencies_s: tuple[float, ...] = ()
+
+    # -- fault tolerance -------------------------------------------------
+    #: Supervisor observations (retries, replays, degradations,
+    #: quarantined packets, crash counts, recovery latencies).  ``None``
+    #: on unsupervised runs; zero-counted on supervised fault-free ones.
+    fault: FaultReport | None = None
 
     # -- energy/device model --------------------------------------------
     energy_model: str = "none"
@@ -169,6 +176,7 @@ class EngineReport:
             update_skipped=result.update_skipped,
             final_epoch=result.final_epoch,
             update_latencies_s=result.update_latencies_s,
+            fault=result.fault,
             energy_model=energy_model,
         )
         report._evaluate_energy()
@@ -253,6 +261,7 @@ class EngineReport:
             update_skipped=sum(r.update_skipped for r in results),
             final_epoch=final_epoch,
             update_latencies_s=tuple(latencies),
+            fault=FaultReport.merged(r.fault for r in results),
             energy_model=energy_model,
         )
         report._evaluate_energy()
@@ -303,6 +312,8 @@ class EngineReport:
             pct = self.update_latency
             if pct is not None:
                 out["update_latency"] = pct
+        if self.fault is not None and self.fault.any():
+            out["fault"] = self.fault.to_dict()
         mo = self.mean_occupancy()
         if mo is not None:
             out["mean_occupancy"] = mo

@@ -47,17 +47,23 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-from ..core.errors import ConfigError
+from ..core.errors import ConfigError, IngestError
 from ..core.packet import PacketTrace
 from ..core.ruleset import RuleSet
 from ..core.updates import ScheduledUpdate
+from ..engine.faults import FaultPlan, fire_ingest_specs
 from ..engine.flowcache import CachedClassifier
 from ..engine.pipeline import ClassificationPipeline, PipelineResult
 from ..engine.protocol import Classifier
 from ..engine.registry import backend_spec, build_backend
+from ..engine.supervision import FaultReport, SupervisionPolicy
 from ..engine.updates import build_updatable_backend, is_updatable
 from .config import EngineConfig
-from .ingest import DEFAULT_SEGMENT_PACKETS, iter_trace_segments
+from .ingest import (
+    DEFAULT_SEGMENT_PACKETS,
+    QuarantineLog,
+    iter_trace_segments,
+)
 from .report import EngineReport
 
 #: Sentinel the ingestion thread publishes after the last segment.
@@ -141,7 +147,22 @@ class Engine:
             persistent=config.persistent,
             shard_mode=config.shard_mode,
             min_chunk_packets=config.min_chunk_packets,
+            policy=SupervisionPolicy(
+                fault_policy=config.fault_policy,
+                max_retries=config.max_retries,
+                chunk_timeout_s=config.chunk_timeout_s,
+            ),
         )
+        #: Dead-letter buffer for malformed trace lines — live (and
+        #: meant to be handed to ``iter_trace_file``) when the config
+        #: asks for quarantine, ``None`` under ``on_malformed="raise"``.
+        self.quarantine: QuarantineLog | None = (
+            QuarantineLog() if config.on_malformed == "quarantine" else None
+        )
+        #: Stream-level fault accounting (ingest retries, quarantined
+        #: lines) of the most recent :meth:`stream` session; ``None``
+        #: before the first stream or when it saw nothing.
+        self.last_stream_fault: FaultReport | None = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -232,11 +253,16 @@ class Engine:
         self.close()
 
     # -- one-shot serving ------------------------------------------------
-    def classify(self, trace: PacketTrace, updates=None) -> EngineReport:
+    def classify(
+        self, trace: PacketTrace, updates=None, faults=None
+    ) -> EngineReport:
         """Run one trace (optionally with a live update stream) and
         return the unified telemetry report; ``report.match`` is the
-        trace-order first-match array."""
-        result = self._pipeline.run(trace, updates=updates)
+        trace-order first-match array.  ``faults`` injects a
+        deterministic :class:`~repro.engine.faults.FaultPlan`; recovery
+        follows the config's ``fault_policy`` and lands in
+        ``report.fault``."""
+        result = self._pipeline.run(trace, updates=updates, faults=faults)
         return EngineReport.from_result(
             result, energy_model=self.config.energy_model
         )
@@ -250,6 +276,7 @@ class Engine:
         prefetch: int = 2,
         ring_slots: int = 4,
         segment_packets: int = DEFAULT_SEGMENT_PACKETS,
+        faults=None,
     ) -> Iterator[ChunkResult]:
         """Serve a segment stream, overlapping ingestion with
         classification.
@@ -269,6 +296,14 @@ class Engine:
         is one chunk and serves single-process, so with ``shards > 1``
         use segments of at least a few chunks (the CLI warns about
         ``--stream`` values that cannot engage the shards).
+
+        ``faults`` injects a :class:`~repro.engine.faults.FaultPlan`
+        into the session: ``ingest`` specs fire in the ingestion thread
+        (retried per the fault policy — the source iterator is not
+        advanced past an injected failure), everything else is routed
+        to the pipeline run of its target segment.  Stream-level
+        accounting is published on :attr:`last_stream_fault` when the
+        session ends.
         """
         if isinstance(segments, PacketTrace):
             segments = iter_trace_segments(segments, segment_packets)
@@ -277,7 +312,8 @@ class Engine:
         if ring_slots < 1:
             raise ConfigError(f"ring_slots must be >= 1, got {ring_slots}")
         entries = self._normalise_stream_updates(updates)
-        return self._stream(segments, entries, prefetch, ring_slots)
+        plan = FaultPlan.coerce(faults)
+        return self._stream(segments, entries, prefetch, ring_slots, plan)
 
     def classify_stream(
         self,
@@ -294,10 +330,17 @@ class Engine:
             for chunk in self.stream(segments, updates, **stream_kwargs)
         ]
         elapsed = time.perf_counter() - started
-        return EngineReport.merge(
+        report = EngineReport.merge(
             results, elapsed_s=elapsed,
             energy_model=self.config.energy_model,
         )
+        if self.last_stream_fault is not None:
+            # Stream-level accounting (ingest retries, quarantined
+            # lines) lives outside any one pipeline result; fold it in.
+            if report.fault is None:
+                report.fault = FaultReport()
+            report.fault.merge(self.last_stream_fault)
+        return report
 
     # ------------------------------------------------------------------
     def _normalise_stream_updates(
@@ -339,10 +382,15 @@ class Engine:
         entries: list[ScheduledUpdate],
         prefetch: int,
         ring_slots: int,
+        plan: FaultPlan | None = None,
     ) -> Iterator[ChunkResult]:
         """Generator body of :meth:`stream` (threads start lazily on the
         first ``next()``; early ``close()`` of the iterator tears the
         session's threads down without leaking)."""
+        policy = self._pipeline.policy or SupervisionPolicy()
+        supervisor = self._pipeline._supervisor
+        stream_fault = FaultReport()
+        quarantined_before = self.quarantine.count if self.quarantine else 0
         sharded = self._pipeline.fork_planned()
         borrowed_pool = False
         if sharded:
@@ -385,11 +433,41 @@ class Engine:
             return _STOPPED
 
         def _ingest() -> None:
+            # Injected ingest faults fire *before* the source is pulled,
+            # so a retry re-pulls cleanly — the iterator never loses a
+            # segment to an injected failure.  A real source error is
+            # relayed (a dead generator cannot be retried).
+            it = iter(segments)
+            index = 0
             try:
-                for segment in segments:
+                while True:
+                    attempt = 0
+                    while True:
+                        try:
+                            if plan is not None:
+                                specs = plan.ingest_faults(index, attempt)
+                                if specs:
+                                    fire_ingest_specs(specs, index)
+                            segment = next(it)
+                            break
+                        except StopIteration:
+                            _put(ingest_q, _DONE)
+                            return
+                        except IngestError:
+                            if (
+                                policy.fault_policy == "fail"
+                                or attempt >= policy.max_retries
+                            ):
+                                raise
+                            stream_fault.ingest_retries += 1
+                            time.sleep(
+                                supervisor.backoff_s(attempt)
+                                if supervisor is not None else 0.05
+                            )
+                            attempt += 1
                     if not _put(ingest_q, segment):
                         return
-                _put(ingest_q, _DONE)
+                    index += 1
             except BaseException as exc:  # noqa: BLE001 - relayed
                 _put(ingest_q, _StreamError(exc))
 
@@ -440,7 +518,9 @@ class Engine:
                         ))
                         upd_i += 1
                     result = self._pipeline.run(
-                        trace, updates=local or None
+                        trace, updates=local or None,
+                        faults=plan.for_segment(index)
+                        if plan is not None else None,
                     )
                     chunk = ChunkResult(
                         index=index,
@@ -504,6 +584,13 @@ class Engine:
             # only touch its own queue, so a timed-out join is safe.
             serve_t.join()
             ingest_t.join(timeout=2.0)
+            if self.quarantine is not None:
+                stream_fault.quarantined += (
+                    self.quarantine.count - quarantined_before
+                )
+            self.last_stream_fault = (
+                stream_fault if stream_fault.any() else None
+            )
             if borrowed_pool:
                 self._pipeline.close()
                 self._pipeline.persistent = False

@@ -1,0 +1,627 @@
+"""Fault-injection grid for the supervised serving path.
+
+The acceptance contract of the robustness PR: under every single-fault
+injection (worker crash, hang past the chunk deadline, in-worker error,
+arena fence trip, ingestion I/O error, update-apply failure, malformed
+trace lines) a ``retry`` or ``degrade`` policy completes the run
+**bit-identical** to the fault-free run, the :class:`FaultReport`
+accounts for exactly what happened, and the ``fail`` policy raises a
+typed :class:`ServingFaultError` naming the shard/chunk/cause.  Nothing
+may leak: no orphaned worker processes, no shared-memory segments.
+"""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classbench import generate_update_stream
+from repro.core.errors import (
+    ArenaCorruptionError,
+    ConfigError,
+    IngestError,
+    InjectedFault,
+    PacketFormatError,
+    ServingFaultError,
+    WorkerCrashError,
+)
+from repro.engine import (
+    ClassificationPipeline,
+    FaultPlan,
+    FaultSpec,
+    SupervisionPolicy,
+    build_backend,
+    build_updatable_backend,
+)
+from repro.serve import (
+    Engine,
+    EngineConfig,
+    QuarantineLog,
+    iter_trace_file,
+    iter_trace_segments,
+)
+
+CHUNK = 256  # 2000-packet fixture trace -> 8 chunks (0..7)
+
+#: Retry-flavoured policies with zero backoff so the grid stays fast.
+FAST_RETRY = dict(max_retries=2, backoff_base_s=0.0, backoff_max_s=0.0)
+
+
+def make_pipeline(ruleset, policy=None, **kw):
+    kw.setdefault("chunk_size", CHUNK)
+    kw.setdefault("shards", 2)
+    kw.setdefault("shard_mode", "processes")
+    return ClassificationPipeline(
+        build_backend("linear", ruleset), policy=policy, **kw
+    )
+
+
+def retry_policy(policy="retry", **kw):
+    return SupervisionPolicy(fault_policy=policy, **{**FAST_RETRY, **kw})
+
+
+# ---------------------------------------------------------------------------
+# Worker faults on the fork tier: crash, error, hang
+# ---------------------------------------------------------------------------
+class TestForkTierFaults:
+    @pytest.mark.parametrize("kind", ["crash", "error"])
+    @pytest.mark.parametrize("policy", ["retry", "degrade"])
+    def test_recovers_bit_identical(
+        self, kind, policy, acl_small, acl_small_trace, acl_small_oracle
+    ):
+        with make_pipeline(acl_small, policy=retry_policy(policy)) as pipe:
+            res = pipe.run(
+                acl_small_trace, faults=[FaultSpec(kind=kind, chunk=1)]
+            )
+        assert np.array_equal(res.match, acl_small_oracle)
+        assert res.fault is not None
+        assert res.fault.retries == 1
+        assert res.fault.replays == len(res.chunks)  # whole-dispatch replay
+        if kind == "crash":
+            assert res.fault.worker_crashes == 1
+            assert sum(res.fault.shard_crashes.values()) == 1
+        else:
+            assert res.fault.chunk_errors == 1
+        assert res.fault.recovery_s  # detection-to-redispatch measured
+
+    def test_hang_trips_chunk_deadline(
+        self, acl_small, acl_small_trace, acl_small_oracle
+    ):
+        policy = retry_policy(chunk_timeout_s=0.5)
+        with make_pipeline(acl_small, policy=policy) as pipe:
+            res = pipe.run(
+                acl_small_trace,
+                faults=[FaultSpec(kind="hang", chunk=1, seconds=30.0)],
+            )
+        assert np.array_equal(res.match, acl_small_oracle)
+        assert res.fault.timeouts == 1
+        assert res.fault.retries == 1
+
+    def test_fail_policy_raises_typed_error(
+        self, acl_small, acl_small_trace
+    ):
+        with make_pipeline(acl_small, policy=retry_policy("fail")) as pipe:
+            with pytest.raises(ServingFaultError) as excinfo:
+                pipe.run(
+                    acl_small_trace, faults=[FaultSpec(kind="crash", chunk=1)]
+                )
+        exc = excinfo.value
+        assert exc.tier == "processes"
+        assert exc.shard is not None  # the dead worker's pid
+        assert isinstance(exc.cause, WorkerCrashError)
+
+    def test_retries_exhausted_raises(self, acl_small, acl_small_trace):
+        policy = retry_policy(max_retries=1)
+        with make_pipeline(acl_small, policy=policy) as pipe:
+            with pytest.raises(ServingFaultError) as excinfo:
+                pipe.run(
+                    acl_small_trace,
+                    faults=[FaultSpec(kind="error", chunk=0, times=5)],
+                )
+        assert isinstance(excinfo.value.cause, InjectedFault)
+        assert excinfo.value.chunk == 0
+
+    def test_plan_without_policy_is_fail_fast(
+        self, acl_small, acl_small_trace
+    ):
+        """A faults= plan on an unsupervised pipeline gets fail-fast
+        supervision: a typed error, never a hang, never a retry."""
+        with make_pipeline(acl_small) as pipe:
+            with pytest.raises(ServingFaultError):
+                pipe.run(
+                    acl_small_trace, faults=[FaultSpec(kind="crash", chunk=0)]
+                )
+
+    def test_fault_free_supervised_run_is_clean(
+        self, acl_small, acl_small_trace, acl_small_oracle
+    ):
+        with make_pipeline(acl_small, policy=retry_policy()) as pipe:
+            res = pipe.run(acl_small_trace)
+        assert np.array_equal(res.match, acl_small_oracle)
+        assert res.fault is not None and not res.fault.any()
+
+
+# ---------------------------------------------------------------------------
+# Thread tier: per-chunk recovery (crash maps to a raised InjectedFault)
+# ---------------------------------------------------------------------------
+class TestThreadTierFaults:
+    @pytest.mark.parametrize("kind", ["crash", "error"])
+    def test_recovers_per_chunk(
+        self, kind, acl_small, acl_small_trace, acl_small_oracle
+    ):
+        with make_pipeline(
+            acl_small, policy=retry_policy(), shard_mode="threads"
+        ) as pipe:
+            res = pipe.run(
+                acl_small_trace, faults=[FaultSpec(kind=kind, chunk=2)]
+            )
+        assert np.array_equal(res.match, acl_small_oracle)
+        assert res.fault.retries >= 1
+        # Thread-tier recovery replays single chunks, not the dispatch.
+        assert 1 <= res.fault.replays < len(res.chunks)
+
+    def test_hang_respects_deadline(
+        self, acl_small, acl_small_trace, acl_small_oracle
+    ):
+        policy = retry_policy(chunk_timeout_s=0.3)
+        with make_pipeline(
+            acl_small, policy=policy, shard_mode="threads"
+        ) as pipe:
+            res = pipe.run(
+                acl_small_trace,
+                faults=[FaultSpec(kind="hang", chunk=2, seconds=30.0)],
+            )
+        assert np.array_equal(res.match, acl_small_oracle)
+        assert res.fault.timeouts >= 1
+
+    def test_fail_policy_names_shard(self, acl_small, acl_small_trace):
+        with make_pipeline(
+            acl_small, policy=retry_policy("fail"), shard_mode="threads"
+        ) as pipe:
+            with pytest.raises(ServingFaultError) as excinfo:
+                pipe.run(
+                    acl_small_trace, faults=[FaultSpec(kind="error", chunk=2)]
+                )
+        assert excinfo.value.tier == "threads"
+        assert excinfo.value.chunk == 2
+
+    def test_shard_scoped_fault_hits_one_shard(
+        self, acl_small, acl_small_trace, acl_small_oracle
+    ):
+        """A spec with shard= only fires on that thread-tier shard."""
+        with make_pipeline(
+            acl_small, policy=retry_policy(), shard_mode="threads"
+        ) as pipe:
+            res = pipe.run(
+                acl_small_trace,
+                faults=[FaultSpec(kind="error", shard=0)],
+            )
+        assert np.array_equal(res.match, acl_small_oracle)
+        assert res.fault.retries >= 1
+
+
+# ---------------------------------------------------------------------------
+# Persistent tier: arena generation fence + checksum, pool replacement
+# ---------------------------------------------------------------------------
+class TestArenaFence:
+    def test_corruption_detected_and_retried(
+        self, acl_small, acl_small_trace, acl_small_oracle
+    ):
+        with make_pipeline(
+            acl_small, policy=retry_policy(), persistent=True
+        ) as pipe:
+            res = pipe.run(
+                acl_small_trace, faults=[FaultSpec(kind="arena")]
+            )
+            assert np.array_equal(res.match, acl_small_oracle)
+            assert res.fault.arena_faults == 1
+            assert res.fault.retries == 1
+            # The poisoned pool was torn down and a fresh one re-forked.
+            assert pipe._pool is not None
+
+    def test_corruption_fail_policy(self, acl_small, acl_small_trace):
+        with make_pipeline(
+            acl_small, policy=retry_policy("fail"), persistent=True
+        ) as pipe:
+            with pytest.raises(ServingFaultError) as excinfo:
+                pipe.run(acl_small_trace, faults=[FaultSpec(kind="arena")])
+        assert excinfo.value.tier == "persistent"
+        assert isinstance(excinfo.value.cause, ArenaCorruptionError)
+
+    def test_no_orphans_no_leaked_shm(self, acl_small, acl_small_trace):
+        pipe = make_pipeline(
+            acl_small, policy=retry_policy(), persistent=True
+        )
+        try:
+            pipe.run(acl_small_trace, faults=[FaultSpec(kind="crash", chunk=0)])
+            assert pipe._pool is not None and pipe._arena is not None
+            procs = list(pipe._pool._pool)
+            names = tuple(pipe._arena["names"])
+        finally:
+            pipe.close()
+        for proc in procs:
+            assert not proc.is_alive()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_crash_during_persistent_run_recovers(
+        self, acl_small, acl_small_trace, acl_small_oracle
+    ):
+        with make_pipeline(
+            acl_small, policy=retry_policy(), persistent=True
+        ) as pipe:
+            res = pipe.run(
+                acl_small_trace, faults=[FaultSpec(kind="crash", chunk=3)]
+            )
+            assert np.array_equal(res.match, acl_small_oracle)
+            assert res.fault.worker_crashes == 1
+            # The replacement pool keeps serving fault-free runs.
+            again = pipe.run(acl_small_trace)
+            assert np.array_equal(again.match, acl_small_oracle)
+            assert not again.fault.any()
+
+
+# ---------------------------------------------------------------------------
+# Degradation ladder
+# ---------------------------------------------------------------------------
+class TestDegradationLadder:
+    def test_persistent_degrades_to_processes(
+        self, acl_small, acl_small_trace, acl_small_oracle
+    ):
+        """An arena fault that outlives every retry (times=10) forces
+        the ladder step; the transient fork tier has no arena and
+        completes bit-identically."""
+        policy = retry_policy("degrade", max_retries=1)
+        with make_pipeline(
+            acl_small, policy=policy, persistent=True
+        ) as pipe:
+            res = pipe.run(
+                acl_small_trace, faults=[FaultSpec(kind="arena", times=10)]
+            )
+        assert np.array_equal(res.match, acl_small_oracle)
+        assert res.fault.degradations == [
+            "persistent->processes:ArenaCorruptionError"
+        ]
+        assert res.fault.arena_faults == 2  # attempts 0 and 1
+        assert res.fault.recovery_s
+
+    def test_fail_policy_never_degrades(self, acl_small, acl_small_trace):
+        policy = retry_policy("fail")
+        with make_pipeline(
+            acl_small, policy=policy, persistent=True
+        ) as pipe:
+            with pytest.raises(ServingFaultError):
+                pipe.run(
+                    acl_small_trace, faults=[FaultSpec(kind="arena", times=10)]
+                )
+
+
+# ---------------------------------------------------------------------------
+# Live updates under faults: idempotent chunk replay
+# ---------------------------------------------------------------------------
+class TestUpdatesUnderFaults:
+    def _run(self, ruleset, trace, schedule, policy, faults):
+        clf = build_updatable_backend("linear", ruleset)
+        with ClassificationPipeline(
+            clf, chunk_size=CHUNK, shards=2, shard_mode="processes",
+            policy=policy,
+        ) as pipe:
+            return pipe.run(trace, updates=schedule, faults=faults)
+
+    @pytest.fixture()
+    def schedule(self, acl_small, acl_small_trace):
+        return generate_update_stream(
+            acl_small, 24, acl_small_trace.n_packets, batch_size=6, seed=402
+        )
+
+    @pytest.mark.parametrize("kind", ["crash", "error"])
+    def test_replay_reapplies_update_prefix(
+        self, kind, acl_small, acl_small_trace, schedule
+    ):
+        want = self._run(
+            acl_small, acl_small_trace, schedule, retry_policy(), None
+        )
+        got = self._run(
+            acl_small, acl_small_trace, schedule, retry_policy(),
+            [FaultSpec(kind=kind, chunk=1)],
+        )
+        assert np.array_equal(got.match, want.match)
+        assert got.final_epoch == want.final_epoch
+        assert got.update_batches == want.update_batches
+        assert got.fault.retries == 1
+
+    def test_update_apply_fault_retried(
+        self, acl_small, acl_small_trace, schedule
+    ):
+        want = self._run(
+            acl_small, acl_small_trace, schedule, retry_policy(), None
+        )
+        got = self._run(
+            acl_small, acl_small_trace, schedule, retry_policy(),
+            [FaultSpec(kind="update", batch=0)],
+        )
+        assert np.array_equal(got.match, want.match)
+        assert got.final_epoch == want.final_epoch
+        assert got.fault.update_retries == 1
+
+    def test_update_apply_fault_fail_policy(
+        self, acl_small, acl_small_trace, schedule
+    ):
+        with pytest.raises(ServingFaultError) as excinfo:
+            self._run(
+                acl_small, acl_small_trace, schedule, retry_policy("fail"),
+                [FaultSpec(kind="update", batch=0)],
+            )
+        assert excinfo.value.tier == "update"
+
+
+# ---------------------------------------------------------------------------
+# Engine-level grid: config-driven supervision, cache on/off, streams
+# ---------------------------------------------------------------------------
+class TestEngineFaults:
+    @pytest.mark.parametrize("shard_mode", ["processes", "threads"])
+    @pytest.mark.parametrize("cache_entries", [0, 512])
+    def test_classify_recovers(
+        self, shard_mode, cache_entries, acl_small, acl_small_trace,
+        acl_small_oracle,
+    ):
+        config = EngineConfig(
+            backend="linear", shards=2, chunk_size=CHUNK,
+            min_chunk_packets=0, shard_mode=shard_mode,
+            cache_entries=cache_entries, fault_policy="retry",
+        )
+        with Engine.open(config, acl_small) as engine:
+            report = engine.classify(
+                acl_small_trace, faults=[FaultSpec(kind="error", chunk=1)]
+            )
+        assert np.array_equal(report.match, acl_small_oracle)
+        assert report.fault is not None and report.fault.retries >= 1
+        assert "fault" in report.to_dict()
+
+    def test_stream_segment_fault_recovers(
+        self, acl_small, acl_small_trace, acl_small_oracle
+    ):
+        config = EngineConfig(
+            backend="linear", shards=2, chunk_size=CHUNK,
+            min_chunk_packets=0, shard_mode="processes",
+            fault_policy="retry",
+        )
+        plan = FaultPlan((FaultSpec(kind="crash", chunk=0, segment=1),))
+        with Engine.open(config, acl_small) as engine:
+            report = engine.classify_stream(
+                iter_trace_segments(acl_small_trace, 768),
+                faults=plan,
+            )
+        assert np.array_equal(report.match, acl_small_oracle)
+        assert report.fault.worker_crashes == 1
+
+    def test_stream_ingest_fault_retried(
+        self, acl_small, acl_small_trace, acl_small_oracle
+    ):
+        config = EngineConfig(
+            backend="linear", chunk_size=CHUNK, fault_policy="retry",
+        )
+        with Engine.open(config, acl_small) as engine:
+            report = engine.classify_stream(
+                iter_trace_segments(acl_small_trace, 768),
+                faults=[FaultSpec(kind="ingest", segment=1)],
+            )
+            assert engine.last_stream_fault is not None
+        assert np.array_equal(report.match, acl_small_oracle)
+        assert report.fault.ingest_retries == 1
+
+    def test_stream_ingest_fault_fail_policy(
+        self, acl_small, acl_small_trace
+    ):
+        config = EngineConfig(backend="linear", chunk_size=CHUNK)
+        with Engine.open(config, acl_small) as engine:
+            with pytest.raises(IngestError):
+                engine.classify_stream(
+                    iter_trace_segments(acl_small_trace, 768),
+                    faults=[FaultSpec(kind="ingest", segment=1)],
+                )
+
+    def test_config_policy_round_trips_to_pipeline(self, acl_small):
+        config = EngineConfig(
+            backend="linear", fault_policy="degrade", max_retries=5,
+            chunk_timeout_s=1.5,
+        )
+        with Engine.open(config, acl_small) as engine:
+            policy = engine.pipeline.policy
+        assert policy.fault_policy == "degrade"
+        assert policy.max_retries == 5
+        assert policy.chunk_timeout_s == 1.5
+
+
+# ---------------------------------------------------------------------------
+# Ingestion quarantine
+# ---------------------------------------------------------------------------
+BAD_TRACE = """\
+1 2 3 4 5 -1
+# a comment line
+10 20 30 40 50 -1
+7 8 9
+10 20 oops 40 50
+-3 2 3 4 5
+
+99999999999 2 3 4 5
+6 7 8 9 10 -1
+"""
+
+
+class TestQuarantine:
+    GOOD_ROWS = [[1, 2, 3, 4, 5], [10, 20, 30, 40, 50], [6, 7, 8, 9, 10]]
+    BAD = [
+        (4, "expected >= 5 columns, got 3"),
+        (5, "non-numeric header field"),
+        (6, "negative header field"),
+        (8, "header field out of 32-bit range"),
+    ]
+
+    def test_quarantine_keeps_good_rows_in_order(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text(BAD_TRACE)
+        log = QuarantineLog()
+        segments = list(iter_trace_file(
+            str(path), segment_packets=4, on_malformed="quarantine",
+            quarantine=log,
+        ))
+        headers = np.concatenate([s.headers for s in segments])
+        assert headers.tolist() == self.GOOD_ROWS
+        assert log.count == len(self.BAD)
+        assert [(e[0], e[2]) for e in log.entries] == self.BAD
+        assert log.dropped == 0
+
+    def test_raise_mode_unchanged(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text(BAD_TRACE)
+        with pytest.raises(PacketFormatError):
+            list(iter_trace_file(str(path), segment_packets=4))
+
+    def test_bounded_buffer_overflow_counts(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text(BAD_TRACE)
+        log = QuarantineLog(max_entries=2)
+        list(iter_trace_file(
+            str(path), segment_packets=4, on_malformed="quarantine",
+            quarantine=log,
+        ))
+        assert log.count == len(self.BAD)
+        assert len(log.entries) == 2
+        assert log.dropped == 2
+        assert log.to_dict()["dropped"] == 2
+
+    def test_engine_counts_quarantined_packets(self, tmp_path, acl_small):
+        path = tmp_path / "trace.txt"
+        path.write_text(BAD_TRACE)
+        config = EngineConfig(
+            backend="linear", chunk_size=CHUNK, on_malformed="quarantine",
+        )
+        with Engine.open(config, acl_small) as engine:
+            assert isinstance(engine.quarantine, QuarantineLog)
+            report = engine.classify_stream(iter_trace_file(
+                str(path), segment_packets=4, on_malformed="quarantine",
+                quarantine=engine.quarantine,
+            ))
+            assert engine.last_stream_fault.quarantined == len(self.BAD)
+        assert report.n_packets == len(self.GOOD_ROWS)
+        assert report.fault.quarantined == len(self.BAD)
+
+    def test_invalid_policy_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("1 2 3 4 5\n")
+        with pytest.raises(ConfigError):
+            list(iter_trace_file(str(path), on_malformed="drop"))
+
+
+# ---------------------------------------------------------------------------
+# Typed errors and plan plumbing
+# ---------------------------------------------------------------------------
+class TestErrorAndPlanPlumbing:
+    def test_serving_fault_errors_survive_pickling(self):
+        for exc in (
+            WorkerCrashError("w", shard=7, chunk=3, cause="exit:70"),
+            ServingFaultError("s", tier="threads", chunk=1),
+            InjectedFault("i", kind="error", chunk=2, shard=1),
+            IngestError("g", segment=4, cause="io"),
+        ):
+            clone = pickle.loads(pickle.dumps(exc))
+            assert type(clone) is type(exc)
+            assert str(clone) == str(exc)
+            for attr in ("shard", "chunk", "tier", "segment", "kind"):
+                assert getattr(clone, attr, None) == getattr(exc, attr, None)
+
+    def test_plan_round_trips_json(self, tmp_path):
+        plan = FaultPlan(
+            (
+                FaultSpec(kind="crash", chunk=1),
+                FaultSpec(kind="hang", chunk=2, seconds=0.5, times=2),
+                FaultSpec(kind="ingest", segment=3),
+            ),
+            seed=9,
+        )
+        path = tmp_path / "plan.json"
+        plan.save(str(path))
+        assert FaultPlan.load(str(path)) == plan
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        assert FaultPlan.coerce(str(path)) == plan
+        assert FaultPlan.coerce(list(plan.specs)) == FaultPlan(plan.specs)
+        assert FaultPlan.coerce(None) is None
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(kind="meteor")
+        with pytest.raises(ConfigError):
+            FaultSpec(kind="crash", times=0)
+        with pytest.raises(ConfigError):
+            FaultPlan.from_dict({"specs": [{"kind": "crash", "zap": 1}]})
+        with pytest.raises(ConfigError):
+            FaultPlan.coerce(object())
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigError):
+            SupervisionPolicy(fault_policy="panic")
+        with pytest.raises(ConfigError):
+            SupervisionPolicy(max_retries=-1)
+        with pytest.raises(ConfigError):
+            SupervisionPolicy(chunk_timeout_s=-0.1)
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        from repro.engine import Supervisor
+
+        a = Supervisor(SupervisionPolicy(seed=3))
+        b = Supervisor(SupervisionPolicy(seed=3))
+        seq_a = [a.backoff_s(i) for i in range(5)]
+        seq_b = [b.backoff_s(i) for i in range(5)]
+        assert seq_a == seq_b  # seeded jitter
+        assert all(s <= a.policy.backoff_max_s for s in seq_a)
+        assert seq_a[1] > seq_a[0] * 0.9  # roughly exponential
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: fault placement never breaks bit-identity under retry
+# ---------------------------------------------------------------------------
+class TestFaultFuzz:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        chunk=st.integers(min_value=0, max_value=7),
+        kind=st.sampled_from(["crash", "error"]),
+        times=st.integers(min_value=1, max_value=2),
+    )
+    def test_thread_tier_any_placement(
+        self, chunk, kind, times, acl_small, acl_small_trace,
+        acl_small_oracle,
+    ):
+        policy = retry_policy(max_retries=3)
+        with make_pipeline(
+            acl_small, policy=policy, shard_mode="threads"
+        ) as pipe:
+            res = pipe.run(
+                acl_small_trace,
+                faults=[FaultSpec(kind=kind, chunk=chunk, times=times)],
+            )
+        assert np.array_equal(res.match, acl_small_oracle)
+        assert res.fault.retries >= 1
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        chunk=st.integers(min_value=0, max_value=7),
+        policy=st.sampled_from(["retry", "degrade"]),
+    )
+    def test_inline_tier_any_placement(
+        self, chunk, policy, acl_small, acl_small_trace, acl_small_oracle
+    ):
+        with make_pipeline(
+            acl_small, policy=retry_policy(policy), shards=1
+        ) as pipe:
+            res = pipe.run(
+                acl_small_trace, faults=[FaultSpec(kind="error", chunk=chunk)]
+            )
+        assert np.array_equal(res.match, acl_small_oracle)
+        assert res.fault.retries >= 1
