@@ -9,9 +9,10 @@ similar workloads from embedded seed models.  See DESIGN.md §1
 from .generator import generate_ruleset, paper_acl1_sizes, paper_table4_sizes
 from .seeds import ACL1, FAMILIES, FW1, IPC1, SeedModel, get_seed
 from .trace import generate_trace, generate_zipf_trace, trace_locality
-from .updates import generate_update_stream
+from .updates import churn_schedule, generate_update_stream
 
 __all__ = [
+    "churn_schedule",
     "generate_ruleset",
     "generate_update_stream",
     "paper_acl1_sizes",

@@ -121,3 +121,37 @@ def generate_update_stream(
                         batch=batch)
         for at, batch in zip(offsets, batches)
     ]
+
+
+def churn_schedule(
+    ruleset: RuleSet,
+    rate_per_kpkt: int,
+    n_packets: int,
+    insert_fraction: float = 0.5,
+    batch_size: int = 8,
+    seed: int = 0,
+) -> list[ScheduledUpdate]:
+    """Rate-based churn plumbing for sweep grids.
+
+    The sweep axes express churn as a *rate* — update operations per
+    1000 served packets — so cells with different trace lengths stay
+    comparable.  This converts the rate into a concrete
+    :func:`generate_update_stream` (at least one full batch, so a
+    nonzero rate always exercises the update path); a zero rate returns
+    an empty schedule.
+    """
+    if rate_per_kpkt < 0:
+        raise ConfigError(
+            f"rate_per_kpkt must be >= 0, got {rate_per_kpkt}"
+        )
+    if rate_per_kpkt == 0:
+        return []
+    n_updates = max(batch_size, int(round(rate_per_kpkt * n_packets / 1000)))
+    return generate_update_stream(
+        ruleset,
+        n_updates,
+        n_packets,
+        insert_fraction=insert_fraction,
+        batch_size=batch_size,
+        seed=seed,
+    )

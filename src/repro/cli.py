@@ -11,6 +11,10 @@ Subcommands mirror a hardware bring-up flow:
   session (sharded, optionally persistent/cached/updatable, optionally
   with streamed segment ingestion) and report serving throughput plus,
   for the accelerator, device throughput and energy;
+* ``sweep`` — expand a declarative :class:`~repro.sweeps.SweepSpec`
+  scenario grid (family x size x backend x cache x skew x churn), run
+  every cell through the engine, and emit ``BENCH_sweeps.json`` plus a
+  markdown matrix (the CI sweep jobs' entry point);
 * ``tables`` — regenerate the paper's tables (wraps run_all);
 * ``fsm`` — print a Figure-5 style cycle trace for a few packets.
 
@@ -54,6 +58,14 @@ from .serve import (
     EngineConfig,
     FaultPlan,
     iter_trace_segments,
+)
+from .sweeps import (
+    TIERS,
+    SweepSpec,
+    default_spec,
+    parse_filters,
+    render_matrix,
+    run_sweep,
 )
 
 #: Names ``--algorithm`` accepts: every registered backend plus aliases.
@@ -425,6 +437,42 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    if args.spec:
+        spec = SweepSpec.load(args.spec)
+        if args.quick:
+            spec = spec.quick()
+    else:
+        spec = default_spec("quick" if args.quick else args.tier)
+    filters = parse_filters(args.filter)
+    print(
+        f"sweep {spec.name!r}: {spec.n_cells} cells "
+        f"({len(spec.families)} families x {len(spec.sizes)} sizes x "
+        f"{len(spec.backends)} backends x cache/skew grid)"
+        + (f", filtered by {args.filter}" if filters else "")
+    )
+    result = run_sweep(
+        spec, filters=filters, progress=print if args.verbose else None
+    )
+    if not result.cells:
+        print("error: no cells matched the filter", file=sys.stderr)
+        return 2
+    artifact = result.save(args.output)
+    print(
+        f"ran {len(result.cells)} cells in {result.elapsed_s:.1f}s, "
+        f"wrote {artifact}"
+    )
+    matrix = render_matrix(result.to_dict())
+    if args.matrix:
+        with open(args.matrix, "w", encoding="utf-8") as fh:
+            fh.write(matrix + "\n")
+        print(f"wrote matrix to {args.matrix}")
+    else:
+        print()
+        print(matrix)
+    return 0
+
+
 def cmd_tables(args) -> int:
     from .experiments.run_all import run_all
 
@@ -585,6 +633,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_args(n)
     _add_engine_args(n)
     n.set_defaults(fn=cmd_bench)
+
+    s = sub.add_parser(
+        "sweep",
+        help="run a declarative scenario grid (family x size x backend "
+             "x cache x skew x churn) and emit BENCH_sweeps.json",
+    )
+    s.add_argument("--spec", default=None, metavar="SPEC.json",
+                   help="load a SweepSpec JSON instead of a built-in tier")
+    s.add_argument("--tier", default="quick", choices=list(TIERS),
+                   help="built-in grid tier when no --spec is given: "
+                        "quick (PR path), full (nightly grid), soak "
+                        "(nightly churn runs)")
+    s.add_argument("--quick", action="store_true",
+                   help="shrink the selected spec to PR-path size "
+                        "(<= 3 sizes, <= 2500 rules, 20k packets)")
+    s.add_argument("--filter", action="append", default=[],
+                   metavar="AXIS=VALUE[,VALUE...]",
+                   help="run only cells matching the axis constraint "
+                        "(repeatable; e.g. --filter family=fw1)")
+    s.add_argument("-o", "--output", default="BENCH_sweeps.json",
+                   help="artifact path (default BENCH_sweeps.json)")
+    s.add_argument("--matrix", default=None, metavar="FILE.md",
+                   help="write the rendered markdown matrix to a file "
+                        "instead of stdout")
+    s.add_argument("-v", "--verbose", action="store_true",
+                   help="print one progress line per cell")
+    s.set_defaults(fn=cmd_sweep)
 
     t = sub.add_parser("tables", help="regenerate the paper's tables")
     t.add_argument("--quick", action="store_true")

@@ -23,7 +23,15 @@ class LineRate:
 
     @property
     def worst_case_pps(self) -> float:
-        return self.gbps * 1e9 / (MIN_PACKET_BYTES * 8)
+        return self.pps_at(MIN_PACKET_BYTES)
+
+    def pps_at(self, packet_bytes: int = MIN_PACKET_BYTES) -> float:
+        """Back-to-back packets/second this rate carries at a wire
+        packet size (the paper's worst case is 40-byte packets; larger
+        packets relax the classification rate proportionally)."""
+        if packet_bytes < 1:
+            raise ValueError(f"packet_bytes must be >= 1, got {packet_bytes}")
+        return self.gbps * 1e9 / (packet_bytes * 8)
 
 
 OC48 = LineRate("OC-48", 2.488)
@@ -36,6 +44,30 @@ LINE_RATES = (OC48, OC192, OC768)
 def sustains_line_rate(throughput_pps: float, rate: LineRate) -> bool:
     """True when a classifier keeps up with worst-case minimum packets."""
     return throughput_pps >= rate.worst_case_pps
+
+
+def line_rate_feasibility(
+    throughput_pps: float,
+    packet_bytes: int = MIN_PACKET_BYTES,
+    rates: tuple[LineRate, ...] = LINE_RATES,
+) -> dict[str, dict]:
+    """Per-line-rate feasibility of a measured classification rate.
+
+    For each rate: the packets/second the wire delivers back to back at
+    ``packet_bytes``, whether ``throughput_pps`` sustains it, and the
+    headroom ratio (>= 1.0 means the rate is held).  This is the sweep
+    grid's "energy/packet vs LINE_RATES" axis — the same feasibility
+    framing as the paper's Tables, applied per grid cell.
+    """
+    out: dict[str, dict] = {}
+    for rate in rates:
+        required = rate.pps_at(packet_bytes)
+        out[rate.name] = {
+            "required_pps": round(required),
+            "sustained": bool(throughput_pps >= required),
+            "headroom": round(throughput_pps / required, 4),
+        }
+    return out
 
 
 def gain(a: float, b: float) -> float:

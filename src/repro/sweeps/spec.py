@@ -1,0 +1,415 @@
+"""`SweepSpec` — the declarative description of a scenario grid.
+
+The paper's evaluation is a *matrix* (ClassBench acl1/fw1/ipc1 families
+at Table-4 sizes against OC-48/192/768 line rates), and the related
+range-classification papers (RVH, the computational-approach line of
+work) report family x size x skew grids as their headline evidence.  A
+``SweepSpec`` names the axes of such a grid once, declaratively:
+
+* ``families`` x ``sizes`` — the ClassBench workload (Table-4 scale);
+* ``backends`` — any registered engine backend name;
+* ``shards`` x ``shard_modes`` — the pipeline shape;
+* ``cache_entries`` (x ``cache_ways``) — the flow-cache geometry
+  (``0`` means "no cache", a real point on the grid);
+* ``skews`` — Zipf flow-popularity skew of the trace;
+* ``packet_bytes`` — wire packet size for line-rate feasibility;
+* ``churn_rates`` — live rule updates per 1000 packets (0 = static).
+
+:meth:`SweepSpec.expand` takes the cross product of every axis and
+yields concrete :class:`SweepCell`\\ s, each of which maps onto exactly
+one :class:`~repro.serve.EngineConfig` (:meth:`SweepCell.engine_config`)
+plus a fully seeded workload.  Seeding is *deterministic per cell
+coordinate*: the same spec always expands to the same per-cell configs
+and seeds (the sweep test suite pins this), so a grid cell is
+reproducible in isolation — ``--filter family=fw1`` reruns exactly the
+cells a full sweep would have run.
+
+Like :class:`~repro.serve.EngineConfig`, a spec round-trips losslessly
+through plain JSON (``to_dict``/``from_dict``, ``save``/``load``) and
+rejects unknown keys and invalid axis values loudly at construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import zlib
+from dataclasses import dataclass
+
+from ..classbench import FAMILIES
+from ..core.errors import ConfigError
+from ..engine.pipeline import SHARD_MODES
+from ..engine.registry import backend_spec
+from ..serve import EngineConfig
+
+#: Named sweep tiers (see :func:`default_spec`).
+TIERS = ("quick", "full", "soak")
+
+
+def _axis(name: str, values, kind, minimum=None) -> tuple:
+    """Coerce a JSON list (or tuple) axis to a validated tuple."""
+    if not isinstance(values, (list, tuple)) or not values:
+        raise ConfigError(f"{name} must be a non-empty list, got {values!r}")
+    out = []
+    for v in values:
+        if isinstance(v, bool) or not isinstance(v, (int, float, str)):
+            raise ConfigError(f"{name} contains non-scalar value {v!r}")
+        v = kind(v)
+        if minimum is not None and v < minimum:
+            raise ConfigError(f"{name} values must be >= {minimum}, got {v}")
+        out.append(v)
+    if len(set(out)) != len(out):
+        raise ConfigError(f"{name} contains duplicate values: {values!r}")
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One concrete grid point: a workload + an engine configuration.
+
+    ``seed`` is the spec's base seed; the per-purpose seeds below mix
+    it with the *workload-shaping* coordinates only (stable CRC, never
+    expansion order), so filtering or reordering the grid cannot change
+    any cell's workload — and cells differing only in engine shape
+    (backend/shards/cache) draw the exact same ruleset and trace.
+    """
+
+    family: str
+    size: int
+    backend: str
+    shards: int
+    shard_mode: str
+    cache_entries: int
+    cache_ways: int
+    skew: float
+    packet_bytes: int
+    churn: int
+    packets: int
+    flows: int
+    chunk_size: int
+    seed: int
+
+    @property
+    def cell_id(self) -> str:
+        """Stable axis-coordinate key (the ``cells`` key in the
+        artifact, and what ``--filter`` selects against)."""
+        return (
+            f"{self.family}/{self.size}/{self.backend}"
+            f"/s{self.shards}-{self.shard_mode}"
+            f"/e{self.cache_entries}w{self.cache_ways}"
+            f"/z{self.skew:g}/p{self.packet_bytes}/u{self.churn}"
+        )
+
+    def engine_config(self) -> EngineConfig:
+        """The :class:`~repro.serve.EngineConfig` this cell executes."""
+        return EngineConfig(
+            backend=self.backend,
+            shards=self.shards,
+            shard_mode=self.shard_mode,
+            chunk_size=self.chunk_size,
+            cache_entries=self.cache_entries,
+            cache_ways=self.cache_ways,
+            updatable=self.churn > 0,
+        )
+
+    # -- per-purpose seeds ------------------------------------------------
+    # Workload seeds depend only on the coordinates that shape the
+    # workload, so cells differing in backend/shards/cache share the
+    # exact same ruleset and trace — the grid compares engines, not
+    # sampling noise.
+    @property
+    def ruleset_seed(self) -> int:
+        return _stable_seed(self.seed, f"ruleset:{self.family}:{self.size}")
+
+    @property
+    def trace_seed(self) -> int:
+        return _stable_seed(
+            self.seed,
+            f"trace:{self.family}:{self.size}:{self.skew:g}"
+            f":{self.flows}:{self.packets}",
+        )
+
+    @property
+    def update_seed(self) -> int:
+        return _stable_seed(
+            self.seed,
+            f"updates:{self.family}:{self.size}:{self.churn}:{self.packets}",
+        )
+
+
+def _stable_seed(base: int, key: str) -> int:
+    """Deterministic 31-bit seed from a base seed and a coordinate key
+    (CRC32, not ``hash()`` — independent of ``PYTHONHASHSEED``)."""
+    return (base * 2654435761 + zlib.crc32(key.encode())) % (2**31 - 1)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative, validated, immutable sweep-grid description."""
+
+    name: str = "paper-grid"
+    families: tuple[str, ...] = ("acl1", "fw1", "ipc1")
+    sizes: tuple[int, ...] = (300, 1200, 2500)
+    backends: tuple[str, ...] = ("hypercuts", "tuple_space")
+    shards: tuple[int, ...] = (1,)
+    shard_modes: tuple[str, ...] = ("auto",)
+    cache_entries: tuple[int, ...] = (0, 4096)
+    cache_ways: int = 4
+    skews: tuple[float, ...] = (0.7, 1.1)
+    packet_bytes: tuple[int, ...] = (40,)
+    churn_rates: tuple[int, ...] = (0,)
+    packets: int = 20_000
+    flows: int = 1024
+    chunk_size: int = 4096
+    seed: int = 7
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigError(f"name must be a non-empty string, got {self.name!r}")
+        set_ = object.__setattr__
+        set_(self, "families", _axis("families", self.families, str))
+        set_(self, "sizes", _axis("sizes", self.sizes, int, minimum=1))
+        set_(self, "backends", _axis("backends", self.backends, str))
+        set_(self, "shards", _axis("shards", self.shards, int, minimum=1))
+        set_(self, "shard_modes", _axis("shard_modes", self.shard_modes, str))
+        set_(
+            self,
+            "cache_entries",
+            _axis("cache_entries", self.cache_entries, int, minimum=0),
+        )
+        set_(self, "skews", _axis("skews", self.skews, float, minimum=0.0))
+        set_(
+            self,
+            "packet_bytes",
+            _axis("packet_bytes", self.packet_bytes, int, minimum=1),
+        )
+        set_(
+            self,
+            "churn_rates",
+            _axis("churn_rates", self.churn_rates, int, minimum=0),
+        )
+        for family in self.families:
+            if family not in FAMILIES:
+                raise ConfigError(
+                    f"unknown family {family!r}; "
+                    f"expected one of {', '.join(sorted(FAMILIES))}"
+                )
+        # Canonicalise backend aliases the way EngineConfig does, so two
+        # specs naming the same grid compare equal.
+        set_(
+            self,
+            "backends",
+            tuple(backend_spec(b).name for b in self.backends),
+        )
+        for mode in self.shard_modes:
+            if mode not in SHARD_MODES:
+                raise ConfigError(
+                    f"unknown shard_mode {mode!r}; "
+                    f"expected one of {', '.join(SHARD_MODES)}"
+                )
+        if self.cache_ways < 1:
+            raise ConfigError(f"cache_ways must be >= 1, got {self.cache_ways}")
+        for entries in self.cache_entries:
+            if entries and entries % self.cache_ways:
+                raise ConfigError(
+                    f"cache_entries ({entries}) must be a multiple of "
+                    f"cache_ways ({self.cache_ways})"
+                )
+        if self.packets < 1:
+            raise ConfigError(f"packets must be >= 1, got {self.packets}")
+        if self.flows < 1:
+            raise ConfigError(f"flows must be >= 1, got {self.flows}")
+        if self.chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+    # -- dict/JSON round-trip --------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (tuples become lists; the exact
+        ``from_dict`` inverse)."""
+        out = dataclasses.asdict(self)
+        return {
+            k: list(v) if isinstance(v, tuple) else v for k, v in out.items()
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"SweepSpec.from_dict expects a dict, got {type(data).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown SweepSpec field(s): {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+        return cls(**data)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "SweepSpec":
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"cannot load sweep spec {path!r}: {exc}") from None
+        return cls.from_dict(data)
+
+    # -- expansion -------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        return (
+            len(self.families)
+            * len(self.sizes)
+            * len(self.backends)
+            * len(self.shards)
+            * len(self.shard_modes)
+            * len(self.cache_entries)
+            * len(self.skews)
+            * len(self.packet_bytes)
+            * len(self.churn_rates)
+        )
+
+    def expand(self) -> list[SweepCell]:
+        """The full cross product, in stable axis order."""
+        cells = []
+        for family in self.families:
+            for size in self.sizes:
+                for backend in self.backends:
+                    for shards in self.shards:
+                        for mode in self.shard_modes:
+                            for entries in self.cache_entries:
+                                for skew in self.skews:
+                                    for pkt in self.packet_bytes:
+                                        for churn in self.churn_rates:
+                                            cells.append(
+                                                self._cell(
+                                                    family, size, backend,
+                                                    shards, mode, entries,
+                                                    skew, pkt, churn,
+                                                )
+                                            )
+        return cells
+
+    def _cell(
+        self, family, size, backend, shards, mode, entries, skew, pkt, churn
+    ) -> SweepCell:
+        return SweepCell(
+            family=family,
+            size=size,
+            backend=backend,
+            shards=shards,
+            shard_mode=mode,
+            cache_entries=entries,
+            cache_ways=self.cache_ways,
+            skew=skew,
+            packet_bytes=pkt,
+            churn=churn,
+            packets=self.packets,
+            flows=self.flows,
+            chunk_size=self.chunk_size,
+            seed=self.seed,
+        )
+
+    # -- tiers -----------------------------------------------------------
+    def quick(self) -> "SweepSpec":
+        """Shrink any spec to PR-path size: at most three sizes (capped
+        at 2500 rules), single-shard, static rulesets, 20k packets."""
+        sizes = tuple(s for s in self.sizes if s <= 2500)[:3] or self.sizes[:1]
+        return dataclasses.replace(
+            self,
+            name=f"{self.name}-quick",
+            sizes=sizes,
+            shards=(1,),
+            shard_modes=("auto",),
+            churn_rates=tuple(self.churn_rates[:1]),
+            packets=min(self.packets, 20_000),
+        )
+
+
+def default_spec(tier: str = "quick") -> SweepSpec:
+    """The built-in paper-scale grids, by tier.
+
+    ``quick``
+        the PR-path grid: all three families x three Table-4 sizes
+        (300/1200/2500) x two backends x a cache/skew grid — runs in a
+        few minutes and is what ``benchmarks/sweeps_baseline.json``
+        pins.
+    ``full``
+        the nightly grid: five Table-4 sizes per family (up to 10k
+        rules), both shard points, a three-point cache axis, packet
+        sizes for the line-rate sweep, 100k packets per cell.
+    ``soak``
+        the nightly churn tier: the full grid plus live update streams
+        (updates riding every cell), catching update-path drift no
+        static grid can see.
+    """
+    if tier == "quick":
+        return SweepSpec(name="paper-grid-quick")
+    if tier == "full":
+        return SweepSpec(
+            name="paper-grid-full",
+            sizes=(300, 1200, 2500, 5000, 10_000),
+            backends=("hicuts", "hypercuts", "tuple_space"),
+            shards=(1, 2),
+            cache_entries=(0, 1024, 4096),
+            skews=(0.7, 1.1),
+            packet_bytes=(40, 1500),
+            packets=100_000,
+        )
+    if tier == "soak":
+        return SweepSpec(
+            name="paper-grid-soak",
+            sizes=(300, 1200, 2500),
+            backends=("hypercuts", "tuple_space"),
+            cache_entries=(0, 4096),
+            skews=(1.1,),
+            churn_rates=(8, 64),
+            packets=200_000,
+        )
+    raise ConfigError(
+        f"unknown sweep tier {tier!r}; expected one of {', '.join(TIERS)}"
+    )
+
+
+def parse_filters(pairs: list[str]) -> dict[str, set[str]]:
+    """``["family=fw1", "size=300,1200"]`` -> axis-value constraint map.
+
+    Keys are cell-coordinate fields; values are comma-separated
+    alternatives (a cell passes when *every* key matches *one* of its
+    values).  Unknown keys are rejected loudly.
+    """
+    allowed = {
+        "family", "size", "backend", "shards", "shard_mode",
+        "cache_entries", "skew", "packet_bytes", "churn",
+    }
+    out: dict[str, set[str]] = {}
+    for pair in pairs or []:
+        key, sep, value = pair.partition("=")
+        if not sep or not value:
+            raise ConfigError(
+                f"bad --filter {pair!r}; expected AXIS=VALUE[,VALUE...]"
+            )
+        if key not in allowed:
+            raise ConfigError(
+                f"unknown --filter axis {key!r}; "
+                f"expected one of {', '.join(sorted(allowed))}"
+            )
+        out.setdefault(key, set()).update(value.split(","))
+    return out
+
+
+def match_filters(cell: SweepCell, filters: dict[str, set[str]]) -> bool:
+    """Whether a cell satisfies every axis constraint."""
+    for key, values in filters.items():
+        have = getattr(cell, key)
+        text = f"{have:g}" if isinstance(have, float) else str(have)
+        if text not in values:
+            return False
+    return True
