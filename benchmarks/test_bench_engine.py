@@ -16,6 +16,8 @@ pool's fork-amortisation win.
 
 from __future__ import annotations
 
+import contextlib
+import gc
 import json
 import math
 import time
@@ -38,7 +40,14 @@ from repro.engine import (
     SupervisionPolicy,
     build_backend,
 )
-from repro.serve import Engine, EngineConfig, iter_trace_file
+from repro.serve import (
+    Engine,
+    EngineConfig,
+    MultiTenantEngine,
+    TenantSpec,
+    iter_trace_file,
+    iter_trace_segments,
+)
 
 pytestmark = pytest.mark.bench
 
@@ -228,12 +237,11 @@ def test_persistent_pipeline_throughput(
 
     Runs ``shard_mode="auto"`` with the >= 64k-packet dispatch target —
     the configuration :class:`~repro.serve.EngineConfig` serves by
-    default.  The auto tier only forks when the clamped worker count
-    can win, so adding shards never *costs* throughput; the shards axis
-    of ``persistent_pipeline_pps`` is enforced non-decreasing by
-    ``compare_baseline.py`` (the pool's fork-amortisation win is gated
-    separately by ``test_persistent_pool_amortises_fork``, which forces
-    the fork tier).
+    default.  Display-only: the ``persistent_pipeline_pps`` shards axis
+    the monotone gate enforces is recorded by
+    ``test_pipeline_shards_monotone_gate`` (interleaved rounds), and
+    the pool's fork-amortisation win is gated separately by
+    ``test_persistent_pool_amortises_fork``.
     """
     with ClassificationPipeline(
         acl1k_engine_accelerator, chunk_size=2048, shards=shards,
@@ -241,9 +249,6 @@ def test_persistent_pipeline_throughput(
     ) as pipeline:
         pipeline.run(acl1k_trace)  # fork/warm outside the timed region
         res = benchmark(lambda: pipeline.run(acl1k_trace))
-    _PERF.setdefault("persistent_pipeline_pps", {})[f"shards_{shards}"] = (
-        round(acl1k_trace.n_packets / benchmark.stats.stats.min)
-    )
     assert res.n_packets == acl1k_trace.n_packets
 
 
@@ -348,9 +353,9 @@ def test_cached_pipeline_throughput(
 ):
     """Flow-cached streaming at the engine's serving defaults (20k Zipf
     packets): ``shard_mode="auto"`` plus the >= 64k-packet dispatch
-    target, so shards engage only when they can win and the
-    ``flowcache_pipeline_pps`` shards axis stays non-decreasing (the
-    monotone check in ``compare_baseline.py`` enforces it)."""
+    target, so shards engage only when they can win.  Display-only: the
+    ``flowcache_pipeline_pps`` shards axis the monotone gate enforces
+    is recorded by ``test_pipeline_shards_monotone_gate``."""
     cached = CachedClassifier(
         acl1k_engine_accelerator, entries=4096, ways=4
     )
@@ -359,10 +364,84 @@ def test_cached_pipeline_throughput(
         shard_mode="auto", min_chunk_packets=65536,
     )
     res = benchmark(lambda: pipeline.run(acl1k_zipf_trace))
-    _PERF.setdefault("flowcache_pipeline_pps", {})[f"shards_{shards}"] = round(
-        acl1k_zipf_trace.n_packets / benchmark.stats.stats.min
-    )
     assert res.cache_hit_rate is not None and res.cache_hit_rate > 0.5
+
+
+def _interleaved_pps(
+    runs: dict, n_packets: int, rounds: int = 25, inner: int = 4
+) -> dict:
+    """Per-key pps from the minimum wall-clock of ``rounds`` samples,
+    each timing ``inner`` back-to-back runs, with the keys sampled
+    round-robin inside every round.  Sequential per-key timing lets
+    slow machine drift (thermal, background load) land on one shard
+    count and fake a scaling inversion; interleaving gives every key
+    the same conditions, and the multi-run samples (with the collector
+    parked) keep single-digit-millisecond workloads out of the noise
+    floor, so the mins are comparable."""
+    best = {key: float("inf") for key in runs}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            for key, run in runs.items():
+                t0 = time.perf_counter()
+                for _ in range(inner):
+                    run()
+                best[key] = min(best[key], time.perf_counter() - t0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {key: round(inner * n_packets / t) for key, t in best.items()}
+
+
+def test_pipeline_shards_monotone_gate(
+    acl1k_engine_accelerator, acl1k_trace, acl1k_zipf_trace
+):
+    """Acceptance gate: at the engine's serving defaults (auto tier,
+    >= 64k-packet dispatch target) adding shards never *costs*
+    throughput.  Records the ``persistent_pipeline_pps`` and
+    ``flowcache_pipeline_pps`` shards axes that ``compare_baseline.py``
+    enforces non-decreasing (0.95 tolerance floor), measured with
+    interleaved rounds so the axis shape is drift-insensitive."""
+    persistent: dict = {}
+    cached_runs: dict = {}
+    # One shared cached classifier: per-instance allocation (heap and
+    # hardware-cache placement of the flow-cache arrays) shifts the
+    # identical workload by a few percent, which would be read as an
+    # axis inversion.  Only the shard count may vary between keys.
+    cached_clf = CachedClassifier(
+        acl1k_engine_accelerator, entries=4096, ways=4
+    )
+    with contextlib.ExitStack() as stack:
+        for shards in (1, 2, 4):
+            pipeline = stack.enter_context(ClassificationPipeline(
+                acl1k_engine_accelerator, chunk_size=2048, shards=shards,
+                persistent=True, shard_mode="auto", min_chunk_packets=65536,
+            ))
+            pipeline.run(acl1k_trace)  # fork/warm outside the timed rounds
+            persistent[f"shards_{shards}"] = (
+                lambda p=pipeline: p.run(acl1k_trace)
+            )
+            cached = ClassificationPipeline(
+                cached_clf, chunk_size=2048, shards=shards,
+                shard_mode="auto", min_chunk_packets=65536,
+            )
+            cached.run(acl1k_zipf_trace)  # warm the flow cache
+            cached_runs[f"shards_{shards}"] = (
+                lambda p=cached: p.run(acl1k_zipf_trace)
+            )
+        _PERF["persistent_pipeline_pps"] = _interleaved_pps(
+            persistent, acl1k_trace.n_packets
+        )
+        _PERF["flowcache_pipeline_pps"] = _interleaved_pps(
+            cached_runs, acl1k_zipf_trace.n_packets
+        )
+    for family in ("persistent_pipeline_pps", "flowcache_pipeline_pps"):
+        series = [_PERF[family][f"shards_{s}"] for s in (1, 2, 4)]
+        for prev, cur in zip(series, series[1:]):
+            assert cur >= 0.95 * prev, (
+                f"{family} inverted along shards: {series}"
+            )
 
 
 def test_fused_lookup_gate(acl1k, acl1k_trace):
@@ -553,3 +632,83 @@ def test_oracle_batch_match_speedup(acl1k, acl1k_trace):
         "speedup": round(speedup, 2),
     }
     assert speedup >= 2, f"vectorised oracle only {speedup:.1f}x"
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant serving vs the single-tenant engine
+# ---------------------------------------------------------------------------
+def test_multi_tenant_aggregate_gate(acl1k, acl1k_trace):
+    """Acceptance gate: eight tenants interleaved through one
+    :class:`MultiTenantEngine` sustain >= 0.7x the single-tenant
+    aggregate pps on the same workload, every tenant's output is
+    bit-identical to an isolated run, and a tenant crashing under the
+    ``fail`` policy is quarantined without perturbing its neighbours.
+    Lands as ``multi_tenant`` in ``BENCH_engine.json``."""
+    n_tenants = 8
+    # 20k packets *per tenant*: small enough to serve in a couple of
+    # seconds, large enough that the scheduler's per-segment overhead
+    # is measured against real serving work, not wall-clock noise.
+    per = 20_000
+    n_packets = n_tenants * per
+    trace = generate_trace(acl1k, n_packets, seed=83)
+    config = EngineConfig(backend="hypercuts", chunk_size=2048)
+    names = [f"t{i}" for i in range(n_tenants)]
+    workloads = dict(zip(names, iter_trace_segments(trace, per)))
+
+    with Engine.open(config, acl1k) as engine:
+        engine.classify(trace)  # warm: compile the flat kernel
+        t_single = _best_of(lambda: engine.classify(trace))
+        isolated = {
+            name: engine.classify(seg).match
+            for name, seg in workloads.items()
+        }
+    single_pps = n_packets / t_single
+
+    tenants = [(TenantSpec(name=n, config=config), acl1k) for n in names]
+    with MultiTenantEngine.open(tenants) as mte:
+        mte.serve(workloads, segment_packets=4096)  # warm
+        t_multi = _best_of(
+            lambda: mte.serve(workloads, segment_packets=4096)
+        )
+        report = mte.serve(workloads, segment_packets=4096)
+    assert report.n_packets == n_packets
+    for tenant in report.tenants:
+        assert tenant.fault is None
+        assert np.array_equal(tenant.report.match, isolated[tenant.name])
+    aggregate_pps = n_packets / t_multi
+    ratio = aggregate_pps / single_pps
+
+    # Isolation under fault: the crashing tenant is quarantined, every
+    # other tenant's output stays bit-identical.  The chaos tenant runs
+    # sharded worker processes (the tier crash faults inject into).
+    chaos_config = EngineConfig(
+        backend="hypercuts", chunk_size=2048, shards=2,
+        shard_mode="processes", min_chunk_packets=0,
+    )
+    fleet = [(TenantSpec(name="chaos", config=chaos_config), acl1k)] + tenants[1:]
+    chaos_workloads = {"chaos": workloads["t0"], **{
+        n: workloads[n] for n in names[1:]
+    }}
+    faults = {"chaos": [FaultSpec(kind="crash", segment=0, chunk=0)]}
+    with MultiTenantEngine.open(fleet) as mte:
+        chaos_report = mte.serve(
+            chaos_workloads, faults=faults, segment_packets=4096
+        )
+    by_name = {t.name: t for t in chaos_report.tenants}
+    assert by_name["chaos"].fault is not None
+    survivors = [t for t in chaos_report.tenants if t.name != "chaos"]
+    assert all(t.fault is None for t in survivors)
+    for tenant in survivors:
+        assert np.array_equal(tenant.report.match, isolated[tenant.name])
+
+    _PERF["multi_tenant"] = {
+        "tenants": n_tenants,
+        "packets": n_packets,
+        "single_tenant_pps": round(single_pps),
+        "aggregate_pps": round(aggregate_pps),
+        "aggregate_ratio": round(ratio, 3),
+        "quarantined_survivors": len(survivors),
+    }
+    assert ratio >= 0.7, (
+        f"8-tenant aggregate only {ratio:.2f}x single-tenant throughput"
+    )

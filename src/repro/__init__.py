@@ -48,7 +48,16 @@ from .engine import (
     available_backends,
     build_backend,
 )
-from .serve import ChunkResult, Engine, EngineConfig, EngineReport
+from .serve import (
+    AsyncEngine,
+    ChunkResult,
+    Engine,
+    EngineConfig,
+    EngineReport,
+    MultiTenantEngine,
+    TenantReport,
+    TenantSpec,
+)
 
 __version__ = "1.2.0"
 
@@ -78,6 +87,10 @@ __all__ = [
     "build_backend",
     "ChunkResult",
     "Engine",
+    "AsyncEngine",
+    "MultiTenantEngine",
+    "TenantSpec",
+    "TenantReport",
     "EngineConfig",
     "EngineReport",
     "__version__",

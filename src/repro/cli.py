@@ -11,6 +11,10 @@ Subcommands mirror a hardware bring-up flow:
   session (sharded, optionally persistent/cached/updatable, optionally
   with streamed segment ingestion) and report serving throughput plus,
   for the accelerator, device throughput and energy;
+* ``serve`` — stand up a :class:`~repro.serve.MultiTenantEngine` from
+  a base engine config plus a tenants JSON (one ruleset/trace/weight
+  per tenant), run the weighted-fair session, and print per-tenant
+  throughput and SLO percentiles alongside the aggregate;
 * ``sweep`` — expand a declarative :class:`~repro.sweeps.SweepSpec`
   scenario grid (family x size x backend x cache x skew x churn), run
   every cell through the engine, and emit ``BENCH_sweeps.json`` plus a
@@ -50,6 +54,7 @@ from .engine.pipeline import SHARD_MODES
 from .engine.registry import registered_aliases
 from .hw import build_memory_image, figure5_trace
 from .serve import (
+    DEFAULT_SEGMENT_PACKETS,
     DEGRADATION_LADDER,
     ENERGY_MODELS,
     FAULT_POLICIES,
@@ -57,6 +62,8 @@ from .serve import (
     Engine,
     EngineConfig,
     FaultPlan,
+    MultiTenantEngine,
+    TenantSpec,
     iter_trace_segments,
 )
 from .sweeps import (
@@ -437,6 +444,109 @@ def cmd_bench(args) -> int:
     return 0
 
 
+#: Keys a tenants-file entry may carry: identity/weight, an EngineConfig
+#: overlay, and the synthetic workload knobs (mirrors the generate/bench
+#: flag namespace so a tenants file reads like N bench invocations).
+_TENANT_FILE_KEYS = {
+    "name", "weight", "config",
+    "family", "rules", "seed", "packets", "zipf", "flows",
+}
+
+
+def _load_tenants_file(path: str, base: EngineConfig):
+    """Parse a tenants JSON into ``(spec, ruleset)`` pairs + workloads.
+
+    The file is a JSON list of tenant objects.  Each entry may set
+    ``name`` / ``weight``, overlay fields of the base engine config via
+    ``config`` (validated through ``EngineConfig.from_dict``), and shape
+    its synthetic workload with ``family`` / ``rules`` / ``seed`` /
+    ``packets`` and optionally ``zipf`` / ``flows``.  Seeds default to a
+    per-index offset so tenants get distinct rulesets and traces.
+    """
+    import json
+
+    with open(path, encoding="utf-8") as fh:
+        entries = json.load(fh)
+    if not isinstance(entries, list) or not entries:
+        raise ConfigError(
+            f"{path}: expected a non-empty JSON list of tenant objects"
+        )
+    tenants: list[tuple[TenantSpec, RuleSet]] = []
+    workloads: dict[str, PacketTrace] = {}
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ConfigError(f"{path}: tenant #{i} is not a JSON object")
+        unknown = set(entry) - _TENANT_FILE_KEYS
+        if unknown:
+            raise ConfigError(
+                f"{path}: tenant #{i} has unknown keys "
+                f"{sorted(unknown)}; known: {sorted(_TENANT_FILE_KEYS)}"
+            )
+        config = base
+        overlay = entry.get("config") or {}
+        if overlay:
+            config = EngineConfig.from_dict({**base.to_dict(), **overlay})
+        spec = TenantSpec(
+            name=str(entry.get("name", f"tenant{i}")),
+            config=config,
+            weight=float(entry.get("weight", 1.0)),
+        )
+        seed = int(entry.get("seed", 7 + 13 * i))
+        ruleset = generate_ruleset(
+            entry.get("family", "acl1"), int(entry.get("rules", 500)),
+            seed=seed,
+        )
+        packets = int(entry.get("packets", 10000))
+        zipf = entry.get("zipf")
+        if zipf is not None:
+            trace = generate_zipf_trace(
+                ruleset, packets, n_flows=int(entry.get("flows", 1024)),
+                skew=float(zipf), seed=seed + 1,
+            )
+        else:
+            trace = generate_trace(ruleset, packets, seed=seed + 1)
+        tenants.append((spec, ruleset))
+        workloads[spec.name] = trace
+    return tenants, workloads
+
+
+def cmd_serve(args) -> int:
+    base = EngineConfig()
+    if args.config:
+        import json
+
+        with open(args.config, encoding="utf-8") as fh:
+            base = EngineConfig.from_dict(json.load(fh))
+    tenants, workloads = _load_tenants_file(args.tenants, base)
+    with MultiTenantEngine.open(tenants) as engine:
+        report = engine.serve(
+            workloads, segment_packets=args.segment_packets,
+            quantum=args.quantum,
+        )
+    print(f"served {len(report.tenants)} tenants: {report.n_packets} "
+          f"packets in {report.elapsed_s * 1e3:.1f} ms "
+          f"({report.throughput_pps:,.0f} packets/s aggregate)")
+    for t in report.tenants:
+        line = (f"  {t.name:<12s} w={t.weight:<4g} "
+                f"{t.n_packets:>8d} packets  {t.n_segments:>4d} segments  "
+                f"{t.throughput_pps:>12,.0f} pps")
+        slo = t.slo
+        if slo is not None:
+            line += (f"  p50 {slo['p50_ms']:.2f} / p95 {slo['p95_ms']:.2f}"
+                     f" / p99 {slo['p99_ms']:.2f} ms")
+        if t.fault:
+            line += f"  FAULT: {t.fault}"
+        print(line)
+    if args.output:
+        import json
+
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_sweep(args) -> int:
     if args.spec:
         spec = SweepSpec.load(args.spec)
@@ -633,6 +743,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_args(n)
     _add_engine_args(n)
     n.set_defaults(fn=cmd_bench)
+
+    v = sub.add_parser(
+        "serve",
+        help="serve N tenants through one MultiTenantEngine "
+             "(weighted-fair admission, shared persistent pool)",
+    )
+    v.add_argument("--config", default=None, metavar="ENGINE.json",
+                   help="base EngineConfig JSON every tenant inherits "
+                        "(default: library defaults; per-tenant 'config' "
+                        "entries overlay it)")
+    v.add_argument("--tenants", required=True, metavar="TENANTS.json",
+                   help="JSON list of tenant objects: name, weight, "
+                        "config overlay, and workload knobs "
+                        "(family/rules/seed/packets/zipf/flows)")
+    v.add_argument("--segment-packets", type=int,
+                   default=DEFAULT_SEGMENT_PACKETS, metavar="N",
+                   help="packets per admitted stream segment (the "
+                        "scheduler interleaves tenants at this grain)")
+    v.add_argument("--quantum", type=int, default=None, metavar="PACKETS",
+                   help="deficit round-robin quantum in packets per "
+                        "weight unit (default: one segment)")
+    v.add_argument("-o", "--output", default=None, metavar="REPORT.json",
+                   help="write the aggregate EngineReport (with the "
+                        "per-tenant slices) as JSON")
+    v.set_defaults(fn=cmd_serve)
 
     s = sub.add_parser(
         "sweep",

@@ -73,12 +73,19 @@ class FlowCacheStats:
     ``hits`` counts packets served without a backend lookup (including
     intra-batch duplicates coalesced onto one miss); ``misses`` counts
     backend lookups issued.  ``hits + misses == lookups``.
+
+    ``evictions`` counts live entries overwritten by a fill;
+    ``reclamations`` counts dead slots (TTL-expired, epoch-stale, or
+    both at once) re-used by a fill.  A slot that is expired *and*
+    stale is dead exactly once, so every fill bumps exactly one of the
+    two counters per overwritten valid slot.
     """
 
     lookups: int = 0
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    reclamations: int = 0
     invalidations: int = 0
 
     @property
@@ -220,8 +227,20 @@ class FlowCache:
         rank = np.empty(n, np.int64)
         rank[by_set] = np.arange(n) - np.repeat(starts, counts)
         way = order[inv, rank % self.ways]
-        # Overwriting a stale-epoch slot is reclamation, not eviction.
-        self.stats.evictions += int(self._live(s)[np.arange(n), way].sum())
+        # Overwriting a live entry is an eviction; re-using a dead slot
+        # (TTL-expired, epoch-stale, or both — dead is dead, counted
+        # once) is a reclamation.  Wrap inserts (rank >= ways) land on a
+        # slot a batch-mate just claimed, so whatever the pre-batch
+        # state said, they displace a fresh live fill: an eviction.
+        pre_live = self._live(s)[np.arange(n), way]
+        pre_valid = self._valid[s, way]
+        first_claim = rank < self.ways
+        self.stats.evictions += int(
+            np.where(first_claim, pre_live, True).sum()
+        )
+        self.stats.reclamations += int(
+            (first_claim & pre_valid & ~pre_live).sum()
+        )
         self._keys[s, way] = headers
         self._valid[s, way] = True
         self._result[s, way] = results
@@ -236,8 +255,9 @@ class FlowCache:
         Takes the most recent distinct flows (bounded to a few multiples
         of the cache capacity, so warming a long trace stays O(cache)),
         deduplicates them and fills normally — the next run starts warm
-        instead of cold.  Lookup/hit/miss counters are untouched: a warm
-        is bookkeeping between runs, not serving traffic.
+        instead of cold.  Lookup/hit/miss and eviction/reclamation
+        counters are untouched: a warm is bookkeeping between runs, not
+        serving traffic.
         """
         n = headers.shape[0]
         if not self.enabled or not n:
@@ -246,8 +266,14 @@ class FlowCache:
         uniq, idx = np.unique(
             headers[n - tail:], axis=0, return_index=True
         )
+        evictions, reclamations = (
+            self.stats.evictions, self.stats.reclamations
+        )
         self.fill(
             uniq, np.asarray(results[n - tail:], dtype=np.int64)[idx]
+        )
+        self.stats.evictions, self.stats.reclamations = (
+            evictions, reclamations
         )
 
     def invalidate(self) -> None:

@@ -674,13 +674,41 @@ class ClassificationPipeline:
             bounds[-1] = (bounds[-1][0], end)
         return bounds
 
-    def _effective_chunk_size(self, has_updates: bool) -> int:
+    def _planned_workers(self) -> int:
+        """How many workers a multi-chunk, update-free run could engage
+        under the configured shard mode on this host."""
+        if self.shards <= 1:
+            return 1
+        if self.shard_mode == "threads":
+            return self.shards
+        if not self._fork_available():
+            return 1
+        return min(self.shards, os.cpu_count() or 1)
+
+    def _effective_chunk_size(
+        self, has_updates: bool, n: int | None = None
+    ) -> int:
         """The dispatch granularity for one run: coalesced up to
         ``min_chunk_packets`` unless an update stream pins the epoch
-        grid to the configured ``chunk_size``."""
+        grid to the configured ``chunk_size``.
+
+        Coalescing is worker-aware: merging a run into fewer chunks
+        than the shards it could engage starves the pool — at 4 shards
+        the ``min_chunk_packets`` floor used to fold a whole trace into
+        one or two dispatches, serving it on 1-2 workers while the rest
+        idled (the shards_4 < shards_2 throughput inversion).  When the
+        planned worker count exceeds one, cap the coalesced size at
+        ``ceil(n / workers)`` so every engaged worker gets a chunk,
+        never dropping below the configured ``chunk_size``.
+        """
         if has_updates or not self.min_chunk_packets:
             return self.chunk_size
-        return max(self.chunk_size, self.min_chunk_packets)
+        size = max(self.chunk_size, self.min_chunk_packets)
+        workers = self._planned_workers()
+        if n and workers > 1:
+            per_worker = -(-n // workers)
+            size = max(self.chunk_size, min(size, per_worker))
+        return size
 
     @staticmethod
     def _fork_available() -> bool:
@@ -1022,7 +1050,7 @@ class ClassificationPipeline:
         headers = trace.headers
         n = headers.shape[0]
         bounds = self._chunk_bounds(
-            n, self._effective_chunk_size(bool(updates))
+            n, self._effective_chunk_size(bool(updates), n)
         )
         entries = self._normalise_updates(updates, bounds)
         # Epochs are reported only for genuinely updatable backends —

@@ -31,8 +31,10 @@ from .ingest import (
     iter_trace_file,
     iter_trace_segments,
 )
+from .aio import AsyncEngine
 from .report import EngineReport, latency_percentiles
 from .session import ChunkResult, Engine
+from .tenancy import MultiTenantEngine, TenantReport, TenantSpec
 
 __all__ = [
     "ENERGY_MODELS",
@@ -46,6 +48,10 @@ __all__ = [
     "latency_percentiles",
     "ChunkResult",
     "Engine",
+    "AsyncEngine",
+    "MultiTenantEngine",
+    "TenantSpec",
+    "TenantReport",
     "FaultPlan",
     "FaultSpec",
     "FaultReport",

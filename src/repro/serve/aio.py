@@ -1,0 +1,123 @@
+"""`AsyncEngine` — the serving session for event-loop embedders.
+
+The blocking :class:`~repro.serve.Engine` already overlaps ingestion
+with classification on its own background threads; what an ``asyncio``
+application needs is a facade that never blocks the event loop while
+driving it.  ``AsyncEngine`` is exactly that — a thin bridge, not a
+second serving path::
+
+    from repro.serve import AsyncEngine
+
+    async with AsyncEngine.open(config, ruleset) as engine:
+        report = await engine.classify(trace)
+        async for chunk in engine.stream(segments):
+            await publish(chunk.match)
+
+Every call delegates to the wrapped blocking engine on a worker thread
+(``asyncio.to_thread``); :meth:`stream` pulls one chunk per thread hop,
+so backpressure and prefetch semantics are the underlying session's own
+(``prefetch`` / ``ring_slots`` pass straight through), results are
+bit-identical by construction, and breaking out of the ``async for``
+closes the blocking iterator — the same prompt thread teardown the
+synchronous early-exit contract guarantees.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator, Iterable
+
+from ..core.packet import PacketTrace
+from ..core.ruleset import RuleSet
+from .config import EngineConfig
+from .report import EngineReport
+from .session import ChunkResult, Engine
+
+
+class AsyncEngine:
+    """Event-loop adapter over a blocking :class:`Engine` session.
+
+    Construct with an existing engine or through :meth:`open`; usable
+    as an async context manager.  The wrapped engine stays available as
+    :attr:`engine` for synchronous call sites sharing the session.
+    """
+
+    def __init__(self, engine: Engine) -> None:
+        self._engine = engine
+
+    @classmethod
+    def open(
+        cls, config: EngineConfig, ruleset: RuleSet, **backend_params
+    ) -> "AsyncEngine":
+        """Build the configured classifier and wrap the session.
+
+        Construction is synchronous (it happens before any event loop
+        work is in flight); serving calls are what must not block.
+        """
+        return cls(Engine.open(config, ruleset, **backend_params))
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> Engine:
+        return self._engine
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._engine.config
+
+    @property
+    def classifier(self):
+        return self._engine.classifier
+
+    # ------------------------------------------------------------------
+    async def classify(
+        self, trace: PacketTrace, updates=None, faults=None
+    ) -> EngineReport:
+        """`Engine.classify`, off the event loop."""
+        return await asyncio.to_thread(
+            self._engine.classify, trace, updates, faults
+        )
+
+    async def classify_stream(
+        self, segments, updates=None, **stream_kwargs
+    ) -> EngineReport:
+        """`Engine.classify_stream`, off the event loop."""
+        return await asyncio.to_thread(
+            lambda: self._engine.classify_stream(
+                segments, updates, **stream_kwargs
+            )
+        )
+
+    async def stream(
+        self,
+        segments: Iterable[PacketTrace] | PacketTrace,
+        updates=None,
+        **stream_kwargs,
+    ) -> AsyncIterator[ChunkResult]:
+        """``async for chunk in engine.stream(...)``.
+
+        One chunk is pulled per worker-thread hop, so the event loop
+        stays responsive while the blocking session's own threads keep
+        ingestion overlapped with classification underneath.  Closing
+        the async iterator early (``break``, ``aclose``) closes the
+        blocking iterator, which tears the session threads down.
+        """
+        it = self._engine.stream(segments, updates, **stream_kwargs)
+        sentinel = object()
+        try:
+            while True:
+                chunk = await asyncio.to_thread(next, it, sentinel)
+                if chunk is sentinel:
+                    return
+                yield chunk
+        finally:
+            await asyncio.to_thread(it.close)
+
+    async def close(self) -> None:
+        await asyncio.to_thread(self._engine.close)
+
+    async def __aenter__(self) -> "AsyncEngine":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

@@ -99,6 +99,12 @@ class EngineReport:
     device_throughput_pps: float | None = None
     energy_per_packet_j: float | None = None
 
+    # -- multi-tenant ----------------------------------------------------
+    #: Per-tenant :class:`~repro.serve.tenancy.TenantReport` slices when
+    #: this report aggregates a :class:`MultiTenantEngine` session;
+    #: ``None`` on single-tenant runs.
+    tenants: list | None = field(default=None, repr=False)
+
     # ------------------------------------------------------------------
     @property
     def matched_fraction(self) -> float:
@@ -320,4 +326,6 @@ class EngineReport:
         if self.device_throughput_pps is not None:
             out["device_throughput_pps"] = self.device_throughput_pps
             out["energy_per_packet_j"] = self.energy_per_packet_j
+        if self.tenants is not None:
+            out["tenants"] = [t.to_dict() for t in self.tenants]
         return out

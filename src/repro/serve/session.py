@@ -432,6 +432,17 @@ class Engine:
                     continue
             return _STOPPED
 
+        def _drain(q: queue.Queue) -> None:
+            """Discard everything queued so a producer blocked on a
+            full queue can publish its pending item and observe the
+            stop flag instead of waiting out its poll interval with the
+            sentinel undrained."""
+            while True:
+                try:
+                    q.get_nowait()
+                except queue.Empty:
+                    return
+
         def _ingest() -> None:
             # Injected ingest faults fire *before* the source is pulled,
             # so a retry re-pulls cleanly — the iterator never loses a
@@ -482,6 +493,11 @@ class Engine:
                         return
                     if isinstance(item, _StreamError):
                         _put(ring, item)
+                        # The ingestion thread may still be blocked
+                        # publishing into a full prefetch queue (its
+                        # _DONE sentinel will never be consumed now);
+                        # free a slot so it unblocks promptly.
+                        _drain(ingest_q)
                         return
                     if item is _DONE:
                         # Updates scheduled past the stream's end apply
@@ -545,9 +561,12 @@ class Engine:
         serve_t = threading.Thread(
             target=_serve, name="repro-serve-classify", daemon=True
         )
-        ingest_t.start()
-        serve_t.start()
         try:
+            # Starts live inside the try: if the second start raises,
+            # the finally still stops and joins the first thread
+            # instead of leaving it running against a dead generator.
+            ingest_t.start()
+            serve_t.start()
             while True:
                 try:
                     item = ring.get(timeout=0.1)
@@ -576,14 +595,23 @@ class Engine:
                 yield item
         finally:
             stop.set()
-            # The serving thread is the only one touching the pipeline;
-            # wait for it unconditionally (it blocks only in 50ms queue
-            # polls or one finite pipeline.run) so a later classify()
-            # never races an abandoned run.  The ingestion thread may be
+            # Unwedge producers parked on full queues (the consumer-
+            # abandons-mid-stream case: the serving thread blocked
+            # publishing into the ring, the ingestion thread into the
+            # prefetch queue, sentinels never drained) so teardown does
+            # not ride on their 50ms stop polls.  The serving thread is
+            # the only one touching the pipeline; wait for it
+            # unconditionally (it blocks only in bounded queue polls or
+            # one finite pipeline.run) so a later classify() never
+            # races an abandoned run.  The ingestion thread may be
             # parked inside the caller's iterable; once stopped it can
             # only touch its own queue, so a timed-out join is safe.
-            serve_t.join()
-            ingest_t.join(timeout=2.0)
+            _drain(ring)
+            if serve_t.ident is not None:
+                serve_t.join()
+            _drain(ingest_q)
+            if ingest_t.ident is not None:
+                ingest_t.join(timeout=2.0)
             if self.quarantine is not None:
                 stream_fault.quarantined += (
                     self.quarantine.count - quarantined_before

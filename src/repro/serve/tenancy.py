@@ -1,0 +1,585 @@
+"""Multi-tenant serving: one process, many rulesets, fair admission.
+
+The ROADMAP's "millions of users" shape is not one giant ruleset — it
+is one serving process multiplexing many small tenant rulesets, each
+with its own flow cache and update epoch, under bursty interleaved
+traffic.  :class:`MultiTenantEngine` is that layer::
+
+    from repro.serve import MultiTenantEngine, TenantSpec
+
+    engine = MultiTenantEngine.open([
+        (TenantSpec("acme", config, weight=2.0), acme_rules),
+        (TenantSpec("blue", config), blue_rules),
+    ])
+    report = engine.serve({"acme": acme_trace, "blue": blue_trace})
+    for tenant in report.tenants:
+        print(tenant.name, tenant.slo)
+
+Design points, each pinned by ``tests/test_tenancy.py``:
+
+**Isolation by construction.**  Every tenant owns a full
+:class:`~repro.serve.Engine` — its own classifier, its own
+:class:`~repro.engine.flowcache.FlowCache`, its own update epoch.  A
+tenant's epoch bump (rule update) can therefore never invalidate
+another tenant's cache entries, and per-tenant results are bit-identical
+to running that tenant alone: the scheduler only decides *when* a
+segment runs, never *how*.
+
+**One shared persistent pool.**  Fork pools are the expensive shared
+resource (workers, shared-memory arenas).  The engine holds a single
+pool lease: at most one tenant's persistent fork pool is alive at any
+moment, handed over (previous holder torn down) when the scheduler
+switches to another pool-tier tenant.  N tenants never multiply the
+process's worker footprint.
+
+**Weighted-fair admission.**  Interleaving is deficit round-robin over
+the tenants' segment streams: each scheduling round credits every
+tenant ``weight * quantum`` packets and serves whole segments while the
+credit lasts, so a weight-2 tenant is admitted twice the packets of a
+weight-1 tenant over any window, independent of segment sizes.
+
+**Fault containment.**  A tenant whose pipeline ultimately fails (its
+own retry/degrade policy exhausted — crash, hang past its deadline,
+arena fault) is marked faulted and dropped from admission; every other
+tenant keeps serving and their outputs stay byte-for-byte what an
+isolated run produces.
+
+Per-tenant accounting lands in :class:`TenantReport` (p50/p95/p99 of
+per-segment service latency — the SLO numbers — plus the tenant's
+merged :class:`~repro.serve.EngineReport`), rolled into the aggregate
+``EngineReport`` that :meth:`MultiTenantEngine.serve` returns.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from ..core.errors import ConfigError
+from ..core.packet import PacketTrace
+from ..core.ruleset import RuleSet
+from ..core.updates import ScheduledUpdate
+from ..engine.faults import FaultPlan
+from ..engine.pipeline import ClassificationPipeline
+from ..engine.supervision import FaultReport
+from .config import EngineConfig
+from .ingest import DEFAULT_SEGMENT_PACKETS, iter_trace_segments
+from .report import EngineReport, latency_percentiles
+from .session import ChunkResult, Engine
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's identity, serving shape, and admission weight.
+
+    ``config`` is the tenant's own :class:`EngineConfig` — backends,
+    cache geometry, update/fault policy all vary per tenant.  ``weight``
+    scales the tenant's share of the admission scheduler (2.0 = twice
+    the packets of a weight-1.0 tenant over any scheduling window).
+    """
+
+    name: str
+    config: EngineConfig = field(default_factory=EngineConfig)
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigError(
+                f"tenant name must be a non-empty string, got {self.name!r}"
+            )
+        if isinstance(self.config, dict):
+            object.__setattr__(
+                self, "config", EngineConfig.from_dict(self.config)
+            )
+        if not isinstance(self.config, EngineConfig):
+            raise ConfigError(
+                f"tenant {self.name!r} config must be an EngineConfig "
+                f"(or dict), got {type(self.config).__name__}"
+            )
+        if not self.weight > 0:
+            raise ConfigError(
+                f"tenant {self.name!r} weight must be > 0, "
+                f"got {self.weight}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "config": self.config.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantSpec":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"TenantSpec.from_dict expects a dict, "
+                f"got {type(data).__name__}"
+            )
+        known = {"name", "weight", "config"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown TenantSpec field(s): {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+        return cls(
+            name=data.get("name", ""),
+            config=EngineConfig.from_dict(data.get("config", {})),
+            weight=float(data.get("weight", 1.0)),
+        )
+
+
+@dataclass
+class TenantReport:
+    """One tenant's slice of a multi-tenant serving session.
+
+    ``latencies_s`` holds the per-segment *service* latencies (queueing
+    excluded — the time the tenant's pipeline actually ran), and
+    :attr:`slo` summarises them as the p50/p95/p99 every admission
+    contract is written against.  ``report`` is the tenant's own merged
+    :class:`EngineReport` — matches, cache counters, update epochs —
+    exactly as an isolated run would have produced it.
+    """
+
+    name: str
+    weight: float
+    busy_s: float = 0.0
+    latencies_s: tuple[float, ...] = ()
+    report: EngineReport | None = field(default=None, repr=False)
+    #: ``None`` while healthy; a one-line description of the terminal
+    #: fault that removed the tenant from admission otherwise.
+    fault: str | None = None
+
+    @property
+    def n_packets(self) -> int:
+        return self.report.n_packets if self.report is not None else 0
+
+    @property
+    def n_segments(self) -> int:
+        return self.report.n_segments if self.report is not None else 0
+
+    @property
+    def throughput_pps(self) -> float:
+        """Packets/second over the tenant's busy time (service only)."""
+        return self.n_packets / self.busy_s if self.busy_s > 0 else 0.0
+
+    @property
+    def slo(self) -> dict[str, float] | None:
+        """p50/p95/p99/max per-segment service latency (milliseconds)."""
+        return latency_percentiles(self.latencies_s)
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "weight": self.weight,
+            "n_packets": self.n_packets,
+            "n_segments": self.n_segments,
+            "busy_s": self.busy_s,
+            "throughput_pps": self.throughput_pps,
+        }
+        pct = self.slo
+        if pct is not None:
+            out["slo"] = pct
+        if self.fault is not None:
+            out["fault"] = self.fault
+        if self.report is not None:
+            out["report"] = self.report.to_dict()
+        return out
+
+
+class _PoolLease:
+    """The single-persistent-pool invariant, as an object.
+
+    Tenant pipelines that plan to fork a persistent pool must ``admit``
+    through the lease before running; admitting a different tenant
+    tears the previous holder's pool down first, so whatever N tenants
+    are configured, at most one fork pool (workers + shared-memory
+    arena) exists at any moment.
+    """
+
+    def __init__(self) -> None:
+        self._holder: tuple[str, ClassificationPipeline] | None = None
+
+    @property
+    def holder(self) -> str | None:
+        return self._holder[0] if self._holder is not None else None
+
+    def admit(self, name: str, pipeline: ClassificationPipeline) -> None:
+        if not (pipeline.persistent and pipeline.fork_planned()):
+            return
+        if self._holder is not None and self._holder[0] != name:
+            self._holder[1].close()
+        self._holder = (name, pipeline)
+
+    def release(self, name: str) -> None:
+        if self._holder is not None and self._holder[0] == name:
+            self._holder[1].close()
+            self._holder = None
+
+    def close(self) -> None:
+        if self._holder is not None:
+            self._holder[1].close()
+            self._holder = None
+
+
+class _TenantState:
+    """Scheduler-side bookkeeping for one tenant in one session."""
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        engine: Engine,
+        source: Iterator,
+        entries: list[ScheduledUpdate],
+        plan: FaultPlan | None,
+    ) -> None:
+        self.spec = spec
+        self.engine = engine
+        self.source = source
+        self.entries = entries
+        self.plan = plan
+        self.head: PacketTrace | None = None
+        self.offset = 0
+        self.index = 0
+        self.upd_i = 0
+        self.deficit = 0.0
+        self.busy_s = 0.0
+        self.latencies: list[float] = []
+        self.results: list = []
+        self.fault: str | None = None
+        self.done = False
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def weight(self) -> float:
+        return self.spec.weight
+
+    def peek(self) -> PacketTrace | None:
+        """The next segment (as a trace), without consuming it."""
+        if self.head is None:
+            try:
+                self.head = self.engine._as_trace(next(self.source))
+            except StopIteration:
+                return None
+        return self.head
+
+    def pop(self) -> PacketTrace:
+        segment = self.head
+        self.head = None
+        return segment
+
+
+class MultiTenantEngine:
+    """N tenant serving sessions behind one admission scheduler.
+
+    Construct through :meth:`open` with ``(spec, ruleset)`` pairs —
+    ``spec`` may be a :class:`TenantSpec`, a plain dict, or just a name
+    (default config, weight 1.0).  Usable as a context manager;
+    :meth:`close` tears down every tenant engine and the pool lease.
+    """
+
+    def __init__(
+        self,
+        tenants: Iterable[tuple[TenantSpec | dict | str, RuleSet]],
+    ) -> None:
+        self._tenants: dict[str, tuple[TenantSpec, Engine]] = {}
+        for spec, ruleset in tenants:
+            if isinstance(spec, str):
+                spec = TenantSpec(spec)
+            elif isinstance(spec, dict):
+                spec = TenantSpec.from_dict(spec)
+            if spec.name in self._tenants:
+                raise ConfigError(f"duplicate tenant name {spec.name!r}")
+            self._tenants[spec.name] = (
+                spec, Engine.open(spec.config, ruleset)
+            )
+        if not self._tenants:
+            raise ConfigError("MultiTenantEngine needs at least one tenant")
+        self._lease = _PoolLease()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls, tenants: Iterable[tuple[TenantSpec | dict | str, RuleSet]]
+    ) -> "MultiTenantEngine":
+        return cls(tenants)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Tenant names, in registration order."""
+        return tuple(self._tenants)
+
+    def spec(self, name: str) -> TenantSpec:
+        return self._tenant(name)[0]
+
+    def engine(self, name: str) -> Engine:
+        """The named tenant's private :class:`Engine` (its classifier,
+        cache and epoch live here — nothing is shared across names)."""
+        return self._tenant(name)[1]
+
+    @property
+    def pool_holder(self) -> str | None:
+        """Which tenant currently holds the shared persistent pool."""
+        return self._lease.holder
+
+    def _tenant(self, name: str) -> tuple[TenantSpec, Engine]:
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown tenant {name!r}; registered: "
+                f"{', '.join(self._tenants)}"
+            ) from None
+
+    def close(self) -> None:
+        self._lease.close()
+        for _spec, engine in self._tenants.values():
+            engine.close()
+        self._closed = True
+
+    def __enter__(self) -> "MultiTenantEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the admission scheduler ----------------------------------------
+    def stream(
+        self,
+        workloads: Mapping[str, Iterable[PacketTrace] | PacketTrace],
+        *,
+        updates: Mapping[str, Iterable] | None = None,
+        faults: Mapping[str, object] | None = None,
+        segment_packets: int = DEFAULT_SEGMENT_PACKETS,
+        quantum: int | None = None,
+    ) -> Iterator[tuple[str, ChunkResult]]:
+        """Serve every workload through weighted-fair admission, lazily.
+
+        ``workloads`` maps tenant names to segment streams (a single
+        :class:`PacketTrace` is sliced into ``segment_packets`` views);
+        ``updates``/``faults`` map tenant names to per-tenant update
+        schedules / fault plans, with the same semantics as
+        :meth:`Engine.stream`.  Yields ``(tenant_name, ChunkResult)``
+        in admission order; ``quantum`` is the scheduler's per-round
+        packet credit (default: ``segment_packets``).
+        """
+        states = self._states(workloads, updates, faults, segment_packets)
+        q = segment_packets if quantum is None else quantum
+        return self._admit(states, q)
+
+    def serve(
+        self,
+        workloads: Mapping[str, Iterable[PacketTrace] | PacketTrace],
+        *,
+        updates: Mapping[str, Iterable] | None = None,
+        faults: Mapping[str, object] | None = None,
+        segment_packets: int = DEFAULT_SEGMENT_PACKETS,
+        quantum: int | None = None,
+    ) -> EngineReport:
+        """Drain a whole :meth:`stream` session into one aggregate
+        :class:`EngineReport` whose ``tenants`` field carries the
+        per-tenant :class:`TenantReport` slices."""
+        states = self._states(workloads, updates, faults, segment_packets)
+        started = time.perf_counter()
+        q = segment_packets if quantum is None else quantum
+        for _name, _chunk in self._admit(states, q):
+            pass
+        elapsed = time.perf_counter() - started
+        reports = [self._tenant_report(st) for st in states]
+        return self._aggregate(reports, elapsed)
+
+    # ------------------------------------------------------------------
+    def _states(
+        self, workloads, updates, faults, segment_packets
+    ) -> list[_TenantState]:
+        if not workloads:
+            raise ConfigError("multi-tenant serve needs >= 1 workload")
+        unknown = sorted(set(workloads) - set(self._tenants))
+        if unknown:
+            raise ConfigError(
+                f"workload(s) for unknown tenant(s): {', '.join(unknown)}; "
+                f"registered: {', '.join(self._tenants)}"
+            )
+        updates = updates or {}
+        faults = faults or {}
+        states = []
+        for name, (spec, engine) in self._tenants.items():
+            if name not in workloads:
+                continue
+            segments = workloads[name]
+            if isinstance(segments, PacketTrace):
+                segments = iter_trace_segments(segments, segment_packets)
+            states.append(_TenantState(
+                spec, engine, iter(segments),
+                engine._normalise_stream_updates(updates.get(name)),
+                FaultPlan.coerce(faults.get(name)),
+            ))
+        return states
+
+    def _admit(
+        self, states: list[_TenantState], quantum: int
+    ) -> Iterator[tuple[str, ChunkResult]]:
+        """Deficit round-robin: each round credits ``weight * quantum``
+        packets per tenant and serves whole segments while the credit
+        lasts.  Faulted tenants leave the rotation; everyone else's
+        serving is unaffected."""
+        if quantum < 1:
+            raise ConfigError(f"quantum must be >= 1, got {quantum}")
+        pending = [st for st in states if not st.done]
+        while pending:
+            for st in pending:
+                st.deficit += st.weight * quantum
+                while not st.done:
+                    segment = st.peek()
+                    if segment is None:
+                        chunk = self._flush_tail(st)
+                        st.done = True
+                        st.deficit = 0.0
+                        if chunk is not None:
+                            yield st.name, chunk
+                        break
+                    # A segment larger than one credit still costs one
+                    # whole segment — max(1, ...) keeps empty segments
+                    # from spinning the rotation for free.
+                    cost = max(1, segment.n_packets)
+                    if st.deficit < cost:
+                        break
+                    st.pop()
+                    chunk = self._serve_segment(st, segment)
+                    st.deficit -= cost
+                    if chunk is not None:
+                        yield st.name, chunk
+            pending = [st for st in pending if not st.done]
+
+    def _serve_segment(
+        self, st: _TenantState, trace: PacketTrace
+    ) -> ChunkResult | None:
+        n = trace.n_packets
+        local: list[ScheduledUpdate] = []
+        while (
+            st.upd_i < len(st.entries)
+            and st.entries[st.upd_i].at_packet < st.offset + n
+        ):
+            entry = st.entries[st.upd_i]
+            local.append(ScheduledUpdate(
+                max(0, entry.at_packet - st.offset), entry.batch
+            ))
+            st.upd_i += 1
+        self._lease.admit(st.name, st.engine.pipeline)
+        started = time.perf_counter()
+        try:
+            result = st.engine.pipeline.run(
+                trace, updates=local or None,
+                faults=st.plan.for_segment(st.index)
+                if st.plan is not None else None,
+            )
+        except Exception as exc:  # contained: one tenant, not the session
+            self._quarantine_tenant(st, exc)
+            return None
+        latency = time.perf_counter() - started
+        st.busy_s += latency
+        st.latencies.append(latency)
+        st.results.append(result)
+        chunk = ChunkResult(
+            index=st.index, start=st.offset, n_packets=n,
+            matched=result.matched, elapsed_s=result.elapsed_s,
+            epoch=result.final_epoch, match=result.match, result=result,
+        )
+        st.offset += n
+        st.index += 1
+        return chunk
+
+    def _flush_tail(self, st: _TenantState) -> ChunkResult | None:
+        """Apply updates scheduled past the tenant's stream end, as a
+        final zero-packet chunk (same contract as ``Engine.stream``)."""
+        tail = [
+            ScheduledUpdate(0, e.batch) for e in st.entries[st.upd_i:]
+        ]
+        st.upd_i = len(st.entries)
+        if not tail:
+            return None
+        self._lease.admit(st.name, st.engine.pipeline)
+        try:
+            result = st.engine.pipeline.run(
+                st.engine._empty_trace(), updates=tail
+            )
+        except Exception as exc:
+            self._quarantine_tenant(st, exc)
+            return None
+        st.results.append(result)
+        chunk = ChunkResult(
+            index=st.index, start=st.offset, n_packets=0, matched=0,
+            elapsed_s=result.elapsed_s, epoch=result.final_epoch,
+            match=result.match, result=result,
+        )
+        st.index += 1
+        return chunk
+
+    def _quarantine_tenant(
+        self, st: _TenantState, exc: BaseException
+    ) -> None:
+        st.fault = f"{type(exc).__name__}: {exc}"
+        st.done = True
+        st.deficit = 0.0
+        # A faulted persistent tier may leave a poisoned pool behind;
+        # drop the lease so the next tenant forks fresh.
+        self._lease.release(st.name)
+
+    # ------------------------------------------------------------------
+    def _tenant_report(self, st: _TenantState) -> TenantReport:
+        report = EngineReport.merge(
+            st.results, elapsed_s=st.busy_s,
+            energy_model=st.engine.config.energy_model,
+        )
+        return TenantReport(
+            name=st.name,
+            weight=st.weight,
+            busy_s=st.busy_s,
+            latencies_s=tuple(st.latencies),
+            report=report,
+            fault=st.fault,
+        )
+
+    def _aggregate(
+        self, tenants: list[TenantReport], elapsed_s: float
+    ) -> EngineReport:
+        reports = [t.report for t in tenants if t.report is not None]
+        # Cache counters aggregate only when every tenant serves through
+        # a flow cache — a mixed fleet has no meaningful fleet hit rate.
+        caches = [
+            (r.cache_hits, r.cache_misses, r.cache_evictions)
+            for r in reports
+        ]
+        has_cache = bool(caches) and all(c[0] is not None for c in caches)
+        latencies: list[float] = []
+        for r in reports:
+            latencies.extend(r.update_latencies_s)
+        aggregate = EngineReport(
+            backend="multi-tenant",
+            n_packets=sum(r.n_packets for r in reports),
+            matched=sum(r.matched for r in reports),
+            elapsed_s=elapsed_s,
+            n_shards=max((r.n_shards for r in reports), default=0),
+            chunk_size=max((r.chunk_size for r in reports), default=0),
+            n_chunks=sum(r.n_chunks for r in reports),
+            n_segments=sum(r.n_segments for r in reports),
+            cache_hits=sum(c[0] for c in caches) if has_cache else None,
+            cache_misses=sum(c[1] for c in caches) if has_cache else None,
+            cache_evictions=(
+                sum(c[2] for c in caches) if has_cache else None
+            ),
+            update_batches=sum(r.update_batches for r in reports),
+            update_ops=sum(r.update_ops for r in reports),
+            update_skipped=sum(r.update_skipped for r in reports),
+            update_latencies_s=tuple(latencies),
+            fault=FaultReport.merged(r.fault for r in reports),
+            energy_model="none",
+            tenants=tenants,
+        )
+        return aggregate

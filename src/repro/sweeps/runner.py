@@ -35,7 +35,12 @@ from typing import Callable
 from ..classbench import churn_schedule, generate_ruleset, generate_zipf_trace
 from ..energy import CacheEnergyModel, line_rate_feasibility
 from ..engine.flowcache import CachedClassifier
-from ..serve import Engine
+from ..serve import (
+    Engine,
+    MultiTenantEngine,
+    TenantSpec,
+    iter_trace_segments,
+)
 from .spec import SweepCell, SweepSpec, match_filters
 
 #: Schema version of the ``BENCH_sweeps.json`` artifact.
@@ -92,6 +97,7 @@ def _cell_metrics(cell: SweepCell, report, classifier) -> dict:
         "skew": cell.skew,
         "packet_bytes": cell.packet_bytes,
         "churn": cell.churn,
+        "tenants": cell.tenants,
         "n_packets": report.n_packets,
         "matched_fraction": round(report.matched_fraction, 4),
         "elapsed_s": round(report.elapsed_s, 4),
@@ -120,6 +126,35 @@ def _cell_metrics(cell: SweepCell, report, classifier) -> dict:
             metrics["update_latency_p50_ms"] = round(pct["p50_ms"], 3)
             metrics["update_latency_p95_ms"] = round(pct["p95_ms"], 3)
             metrics["update_latency_p99_ms"] = round(pct["p99_ms"], 3)
+    return metrics
+
+
+def _run_multi_tenant_cell(cell, ruleset, trace, config, schedule) -> dict:
+    """Execute a ``tenants > 1`` cell through one
+    :class:`~repro.serve.MultiTenantEngine` session.
+
+    The cell's trace is split into N equal contiguous slices, one per
+    tenant, and every tenant runs the *same* engine config against the
+    *same* ruleset — the axis measures the admission scheduler and
+    shared-pool overhead, not workload drift, so the aggregate metrics
+    stay comparable with the cell's single-tenant neighbours.  A churn
+    schedule rides on the first tenant only: the other tenants' epochs
+    (and caches) must be untouched by its updates.
+    """
+    names = [f"t{i}" for i in range(cell.tenants)]
+    tenants = [(TenantSpec(name=name, config=config), ruleset) for name in names]
+    per = -(-trace.n_packets // cell.tenants)
+    workloads = dict(zip(names, iter_trace_segments(trace, per)))
+    updates = {names[0]: schedule} if schedule else None
+    with MultiTenantEngine.open(tenants) as mte:
+        report = mte.serve(
+            workloads,
+            updates=updates,
+            segment_packets=max(1, min(per, cell.chunk_size)),
+        )
+        metrics = _cell_metrics(cell, report, mte.engine(names[0]).classifier)
+    tenant_pps = [t.throughput_pps for t in report.tenants]
+    metrics["min_tenant_pps"] = round(min(tenant_pps))
     return metrics
 
 
@@ -171,7 +206,9 @@ def run_sweep(
                 cell.packets,
                 seed=cell.update_seed,
             )
-        else:
+        elif cell.tenants == 1:
+            # Multi-tenant cells skip the shared-build cache: the
+            # MultiTenantEngine builds each tenant's own classifier.
             build_key = (rs_key, cell.backend)
             bare = backends.get(build_key)
             if bare is None:
@@ -186,9 +223,14 @@ def run_sweep(
                 classifier = CachedClassifier(
                     bare, entries=cell.cache_entries, ways=cell.cache_ways
                 )
-        with Engine(config, ruleset, classifier=classifier) as engine:
-            report = engine.classify(trace, updates=schedule)
-            metrics = _cell_metrics(cell, report, engine.classifier)
+        if cell.tenants > 1:
+            metrics = _run_multi_tenant_cell(
+                cell, ruleset, trace, config, schedule
+            )
+        else:
+            with Engine(config, ruleset, classifier=classifier) as engine:
+                report = engine.classify(trace, updates=schedule)
+                metrics = _cell_metrics(cell, report, engine.classifier)
         result.cells.append(CellResult(cell=cell, metrics=metrics))
         if progress is not None:
             hit = metrics.get("hit_rate")

@@ -13,7 +13,10 @@ work) report family x size x skew grids as their headline evidence.  A
   (``0`` means "no cache", a real point on the grid);
 * ``skews`` — Zipf flow-popularity skew of the trace;
 * ``packet_bytes`` — wire packet size for line-rate feasibility;
-* ``churn_rates`` — live rule updates per 1000 packets (0 = static).
+* ``churn_rates`` — live rule updates per 1000 packets (0 = static);
+* ``tenants`` — how many tenants share the cell's engine through a
+  :class:`~repro.serve.MultiTenantEngine` session (1 = the plain
+  single-tenant serving path; see ``docs/engine.md``).
 
 :meth:`SweepSpec.expand` takes the cross product of every axis and
 yields concrete :class:`SweepCell`\\ s, each of which maps onto exactly
@@ -88,16 +91,21 @@ class SweepCell:
     flows: int
     chunk_size: int
     seed: int
+    tenants: int = 1
 
     @property
     def cell_id(self) -> str:
         """Stable axis-coordinate key (the ``cells`` key in the
-        artifact, and what ``--filter`` selects against)."""
+        artifact, and what ``--filter`` selects against).  The tenants
+        coordinate only appears for multi-tenant cells, so grids that
+        never touch the axis keep their historical cell ids (and their
+        committed baselines)."""
+        suffix = f"/t{self.tenants}" if self.tenants > 1 else ""
         return (
             f"{self.family}/{self.size}/{self.backend}"
             f"/s{self.shards}-{self.shard_mode}"
             f"/e{self.cache_entries}w{self.cache_ways}"
-            f"/z{self.skew:g}/p{self.packet_bytes}/u{self.churn}"
+            f"/z{self.skew:g}/p{self.packet_bytes}/u{self.churn}{suffix}"
         )
 
     def engine_config(self) -> EngineConfig:
@@ -158,6 +166,7 @@ class SweepSpec:
     skews: tuple[float, ...] = (0.7, 1.1)
     packet_bytes: tuple[int, ...] = (40,)
     churn_rates: tuple[int, ...] = (0,)
+    tenants: tuple[int, ...] = (1,)
     packets: int = 20_000
     flows: int = 1024
     chunk_size: int = 4096
@@ -189,6 +198,7 @@ class SweepSpec:
             "churn_rates",
             _axis("churn_rates", self.churn_rates, int, minimum=0),
         )
+        set_(self, "tenants", _axis("tenants", self.tenants, int, minimum=1))
         for family in self.families:
             if family not in FAMILIES:
                 raise ConfigError(
@@ -274,6 +284,7 @@ class SweepSpec:
             * len(self.skews)
             * len(self.packet_bytes)
             * len(self.churn_rates)
+            * len(self.tenants)
         )
 
     def expand(self) -> list[SweepCell]:
@@ -288,17 +299,21 @@ class SweepSpec:
                                 for skew in self.skews:
                                     for pkt in self.packet_bytes:
                                         for churn in self.churn_rates:
-                                            cells.append(
-                                                self._cell(
-                                                    family, size, backend,
-                                                    shards, mode, entries,
-                                                    skew, pkt, churn,
+                                            for n_ten in self.tenants:
+                                                cells.append(
+                                                    self._cell(
+                                                        family, size,
+                                                        backend, shards,
+                                                        mode, entries,
+                                                        skew, pkt, churn,
+                                                        n_ten,
+                                                    )
                                                 )
-                                            )
         return cells
 
     def _cell(
-        self, family, size, backend, shards, mode, entries, skew, pkt, churn
+        self, family, size, backend, shards, mode, entries, skew, pkt, churn,
+        n_tenants=1,
     ) -> SweepCell:
         return SweepCell(
             family=family,
@@ -315,6 +330,7 @@ class SweepSpec:
             flows=self.flows,
             chunk_size=self.chunk_size,
             seed=self.seed,
+            tenants=n_tenants,
         )
 
     # -- tiers -----------------------------------------------------------
@@ -387,7 +403,7 @@ def parse_filters(pairs: list[str]) -> dict[str, set[str]]:
     """
     allowed = {
         "family", "size", "backend", "shards", "shard_mode",
-        "cache_entries", "skew", "packet_bytes", "churn",
+        "cache_entries", "skew", "packet_bytes", "churn", "tenants",
     }
     out: dict[str, set[str]] = {}
     for pair in pairs or []:

@@ -39,13 +39,21 @@ class TestMonotoneAxes:
         assert failures == ["monotone:persistent_pipeline_pps"]
 
     def test_tolerance_absorbs_noise_dips(self):
-        # A 5% step-down is runner noise at the default 0.9 tolerance;
-        # a 20% step-down is not.
-        noisy = {"flowcache_pipeline_pps": _axis(1e6, 0.95e6, 1e6)}
+        # A 4% step-down is runner noise under the shards families'
+        # 0.95 tolerance floor; a 20% step-down is not.
+        noisy = {"flowcache_pipeline_pps": _axis(1e6, 0.96e6, 1e6)}
         assert check_monotone(noisy, tolerance=0.9)[1] == []
         broken = {"flowcache_pipeline_pps": _axis(1e6, 0.8e6, 1e6)}
         assert check_monotone(broken, tolerance=0.9)[1] == [
             "monotone:flowcache_pipeline_pps"
+        ]
+
+    def test_family_floor_tightens_loose_cli_tolerance(self):
+        # The shards families carry a 0.95 floor: even a lax
+        # --monotone-tolerance cannot re-admit a >5% step-down.
+        dipped = {"persistent_pipeline_pps": _axis(1e6, 0.9e6, 1e6)}
+        assert check_monotone(dipped, tolerance=0.5)[1] == [
+            "monotone:persistent_pipeline_pps"
         ]
 
     def test_missing_points_are_skipped(self):
@@ -70,6 +78,9 @@ class TestMonotoneAxes:
 class TestGatedMetrics:
     def test_fused_lookup_is_gated(self):
         assert "fused_lookup.speedup" in compare_baseline.GATED_METRICS
+
+    def test_multi_tenant_aggregate_is_gated(self):
+        assert "multi_tenant.aggregate_ratio" in compare_baseline.GATED_METRICS
 
     def test_gated_regression_fails(self):
         baseline = {"fused_lookup": {"speedup": 2.0}}

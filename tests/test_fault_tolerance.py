@@ -20,7 +20,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.classbench import generate_update_stream
+from repro.classbench import generate_trace, generate_update_stream
 from repro.core.errors import (
     ArenaCorruptionError,
     ConfigError,
@@ -41,7 +41,9 @@ from repro.engine import (
 from repro.serve import (
     Engine,
     EngineConfig,
+    MultiTenantEngine,
     QuarantineLog,
+    TenantSpec,
     iter_trace_file,
     iter_trace_segments,
 )
@@ -625,3 +627,113 @@ class TestFaultFuzz:
             )
         assert np.array_equal(res.match, acl_small_oracle)
         assert res.fault.retries >= 1
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant chaos: one tenant's faults never touch another's bytes
+# ---------------------------------------------------------------------------
+class TestMultiTenantChaos:
+    """Two-tenant fleets where every injected fault lands on tenant A
+    ("chaotic"); tenant B ("quiet") must finish byte-for-byte identical
+    to a private single-tenant session, whatever A's policy does."""
+
+    QUIET_CONFIG = EngineConfig(backend="linear", chunk_size=CHUNK)
+
+    def _fleet(self, acl_small, fw_small, config_a):
+        tenants = [
+            (TenantSpec("chaotic", config_a), acl_small),
+            (TenantSpec("quiet", self.QUIET_CONFIG), fw_small),
+        ]
+        return tenants
+
+    @pytest.fixture(scope="class")
+    def quiet_trace(self, fw_small):
+        return generate_trace(fw_small, 1500, seed=211)
+
+    @pytest.fixture(scope="class")
+    def quiet_oracle(self, fw_small, quiet_trace):
+        with Engine.open(self.QUIET_CONFIG, fw_small) as engine:
+            return engine.classify(quiet_trace).match
+
+    @pytest.mark.parametrize("kind", ["crash", "arena"])
+    def test_retrying_tenant_recovers_and_neighbour_is_untouched(
+        self, kind, acl_small, fw_small, acl_small_trace, acl_small_oracle,
+        quiet_trace, quiet_oracle,
+    ):
+        # Persistent pool: the arena transport is where arena faults
+        # inject, and a crash there also exercises the pool lease.
+        config_a = EngineConfig(
+            backend="linear", chunk_size=CHUNK, shards=2,
+            shard_mode="processes", fault_policy="retry",
+            min_chunk_packets=0, persistent=True,
+        )
+        tenants = self._fleet(acl_small, fw_small, config_a)
+        faults = {"chaotic": [FaultSpec(kind=kind, segment=1)]}
+        with MultiTenantEngine.open(tenants) as mte:
+            report = mte.serve(
+                {"chaotic": acl_small_trace, "quiet": quiet_trace},
+                faults=faults, segment_packets=2 * CHUNK,
+            )
+        by_name = {t.name: t for t in report.tenants}
+        chaotic, quiet = by_name["chaotic"], by_name["quiet"]
+        assert chaotic.fault is None  # its own retry policy recovered
+        assert chaotic.report.fault.retries >= 1
+        assert np.array_equal(chaotic.report.match, acl_small_oracle)
+        assert quiet.fault is None
+        assert quiet.report.fault is None or not quiet.report.fault.any()
+        assert np.array_equal(quiet.report.match, quiet_oracle)
+
+    def test_hanging_tenant_trips_deadline_not_the_fleet(
+        self, acl_small, fw_small, acl_small_trace, acl_small_oracle,
+        quiet_trace, quiet_oracle,
+    ):
+        config_a = EngineConfig(
+            backend="linear", chunk_size=CHUNK, shards=2,
+            shard_mode="processes", fault_policy="retry",
+            chunk_timeout_s=0.5, min_chunk_packets=0,
+        )
+        tenants = self._fleet(acl_small, fw_small, config_a)
+        faults = {
+            "chaotic": [
+                FaultSpec(kind="hang", segment=1, chunk=1, seconds=30.0)
+            ]
+        }
+        with MultiTenantEngine.open(tenants) as mte:
+            report = mte.serve(
+                {"chaotic": acl_small_trace, "quiet": quiet_trace},
+                faults=faults, segment_packets=2 * CHUNK,
+            )
+        by_name = {t.name: t for t in report.tenants}
+        assert by_name["chaotic"].report.fault.timeouts == 1
+        assert np.array_equal(
+            by_name["chaotic"].report.match, acl_small_oracle
+        )
+        assert np.array_equal(by_name["quiet"].report.match, quiet_oracle)
+
+    def test_fail_policy_quarantines_tenant_only(
+        self, acl_small, fw_small, acl_small_trace, quiet_trace,
+        quiet_oracle,
+    ):
+        # Default fail posture: the first crash is terminal for the
+        # tenant (quarantined, out of the rotation) but never for the
+        # session — the quiet tenant's bytes don't move.
+        config_a = EngineConfig(
+            backend="linear", chunk_size=CHUNK, shards=2,
+            shard_mode="processes", min_chunk_packets=0,
+        )
+        tenants = self._fleet(acl_small, fw_small, config_a)
+        faults = {"chaotic": [FaultSpec(kind="crash", chunk=0, segment=1)]}
+        with MultiTenantEngine.open(tenants) as mte:
+            report = mte.serve(
+                {"chaotic": acl_small_trace, "quiet": quiet_trace},
+                faults=faults, segment_packets=2 * CHUNK,
+            )
+        by_name = {t.name: t for t in report.tenants}
+        chaotic, quiet = by_name["chaotic"], by_name["quiet"]
+        assert chaotic.fault is not None
+        assert "ServingFaultError" in chaotic.fault
+        # It served segment 0 before the injected crash cut it off.
+        assert 0 < chaotic.n_packets < acl_small_trace.n_packets
+        assert quiet.fault is None
+        assert quiet.n_packets == quiet_trace.n_packets
+        assert np.array_equal(quiet.report.match, quiet_oracle)

@@ -123,6 +123,24 @@ class TestFlowCacheUnit:
         assert not cache.probe(b)[0].any()
         assert cache.stats.evictions == 1
 
+    def test_wrap_insert_counts_the_displaced_batchmate(self):
+        # More distinct headers than ways land in one set in a single
+        # batch: the wrapping inserts displace fills their batch-mates
+        # just made — evictions the pre-batch state cannot see.
+        cache = FlowCache(1, ways=1)
+        hdr = _headers([[i, 0, 0, 0, 0] for i in range(3)])
+        cache.fill(hdr, np.arange(3, dtype=np.int64))
+        assert cache.stats.evictions == 2
+        assert cache.stats.reclamations == 0
+
+    def test_warm_leaves_eviction_counters_untouched(self):
+        cache = FlowCache(1, ways=1)
+        hdr = _headers([[i, 0, 0, 0, 0] for i in range(4)])
+        cache.fill(hdr[:1], np.array([0], dtype=np.int64))
+        cache.warm(hdr, np.arange(4, dtype=np.int64))
+        assert cache.stats.evictions == 0
+        assert cache.stats.reclamations == 0
+
     def test_invalidate_drops_entries_keeps_counters(self):
         cache = FlowCache(8, ways=2)
         hdr = _headers([[1, 2, 3, 4, 5]])
@@ -182,7 +200,23 @@ class TestFlowCacheAging:
         cache.fill(b, np.array([11]))  # one live entry, one expired
         cache.fill(c, np.array([12]))  # lands on a's expired slot
         assert cache.stats.evictions == 0
+        assert cache.stats.reclamations == 1
         assert cache.probe(b)[0].all() and cache.probe(c)[0].all()
+
+    def test_doubly_dead_slot_is_reclaimed_exactly_once(self):
+        # A slot can be dead for two independent reasons at once —
+        # TTL-expired *and* epoch-stale.  Re-using it must count as one
+        # reclamation (and never as an eviction), not one per reason.
+        cache = FlowCache(2, ways=2, max_age=3)
+        a = _headers([[1, 0, 0, 0, 0]])
+        cache.fill(a, np.array([10]))
+        for _ in range(4):
+            cache.probe(_headers([[9, 9, 9, 9, 9]]))  # a TTL-expires
+        cache.advance_epoch()  # ...and goes epoch-stale on top
+        cache.fill(_headers([[2, 0, 0, 0, 0]]), np.array([11]))
+        cache.fill(_headers([[3, 0, 0, 0, 0]]), np.array([12]))
+        assert cache.stats.evictions == 0
+        assert cache.stats.reclamations == 1
 
     def test_occupancy_fraction_drops_after_expiry(self):
         cache = FlowCache(4, ways=2, max_age=2)

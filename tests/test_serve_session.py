@@ -255,6 +255,37 @@ class TestSessionLifecycle:
         # Bounded prefetch: the generator was never drained to the end.
         assert len(pulled) < acl_small_trace.n_packets // 256
 
+    @pytest.mark.parametrize("shard_mode", ["auto", "processes", "threads"])
+    def test_break_after_one_chunk_is_clean_in_every_shard_mode(
+        self, shard_mode, acl_small, acl_small_trace
+    ):
+        # The consumer abandons mid-stream with both queues saturated
+        # (prefetch=1, ring_slots=1): the ingestion thread is parked on
+        # a full prefetch queue whose _DONE sentinel will never be
+        # drained.  Teardown must unwind both threads promptly and
+        # leave the engine serviceable, in every shard mode.
+        config = EngineConfig(
+            backend="linear", chunk_size=256, shards=2,
+            shard_mode=shard_mode,
+        )
+        before = _thread_names()
+        with Engine.open(config, acl_small) as engine:
+            want = engine.classify(acl_small_trace).match
+            for chunk in engine.stream(
+                iter_trace_segments(acl_small_trace, 256),
+                prefetch=1, ring_slots=1,
+            ):
+                assert chunk.index == 0 and chunk.n_packets == 256
+                break  # consumer abandons mid-stream
+            # The session stays serviceable after the abandoned stream.
+            again = engine.classify(acl_small_trace)
+            assert np.array_equal(again.match, want)
+        for _ in range(100):
+            if _thread_names() <= before:
+                break
+            threading.Event().wait(0.05)
+        assert _thread_names() <= before
+
     def test_segment_source_error_reaches_consumer(
         self, acl_small, acl_small_trace
     ):

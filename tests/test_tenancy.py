@@ -1,0 +1,416 @@
+"""Multi-tenant serving + asyncio facade: the tenancy design contract.
+
+Pins the four design points of :mod:`repro.serve.tenancy` — isolation
+by construction (bit-identical per-tenant results, epoch bumps never
+cross tenants), the single persistent-pool lease, weighted-fair
+deficit-round-robin admission, and fault containment — plus the
+:class:`~repro.serve.AsyncEngine` bridge and the ``serve`` CLI entry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.classbench import (
+    generate_ruleset,
+    generate_trace,
+    generate_update_stream,
+)
+from repro.core.errors import ConfigError
+from repro.serve import (
+    AsyncEngine,
+    Engine,
+    EngineConfig,
+    MultiTenantEngine,
+    TenantSpec,
+    iter_trace_segments,
+)
+from repro.serve.tenancy import _PoolLease
+
+CONFIG = EngineConfig(backend="linear", chunk_size=256)
+
+
+def make_fleet(n=3, rules=80, packets=1024, weights=(), config=CONFIG):
+    """N tenants with distinct rulesets/traces + their workloads."""
+    weights = dict(weights)
+    tenants, workloads = [], {}
+    for i in range(n):
+        name = f"t{i}"
+        ruleset = generate_ruleset("acl1", rules, seed=301 + i)
+        spec = TenantSpec(name, config, weight=weights.get(name, 1.0))
+        tenants.append((spec, ruleset))
+        workloads[name] = generate_trace(ruleset, packets, seed=401 + i)
+    return tenants, workloads
+
+
+def isolated_matches(tenants, workloads):
+    """Each tenant's match array from a private single-tenant session."""
+    out = {}
+    for spec, ruleset in tenants:
+        with Engine.open(spec.config, ruleset) as engine:
+            out[spec.name] = engine.classify(workloads[spec.name]).match
+    return out
+
+
+# ---------------------------------------------------------------------------
+# TenantSpec
+# ---------------------------------------------------------------------------
+class TestTenantSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            TenantSpec("")
+        with pytest.raises(ConfigError, match="weight"):
+            TenantSpec("a", CONFIG, weight=0.0)
+        with pytest.raises(ConfigError, match="config"):
+            TenantSpec("a", config="linear")
+
+    def test_dict_config_is_coerced(self):
+        spec = TenantSpec("a", {"backend": "linear", "chunk_size": 64})
+        assert isinstance(spec.config, EngineConfig)
+        assert spec.config.chunk_size == 64
+
+    def test_round_trip_and_unknown_keys(self):
+        spec = TenantSpec("gold", CONFIG, weight=2.5)
+        again = TenantSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again == spec
+        with pytest.raises(ConfigError, match="unknown TenantSpec"):
+            TenantSpec.from_dict({"name": "a", "wight": 2})
+
+
+# ---------------------------------------------------------------------------
+# Session construction
+# ---------------------------------------------------------------------------
+class TestConstruction:
+    def test_duplicate_names_rejected(self, acl_small):
+        with pytest.raises(ConfigError, match="duplicate tenant"):
+            MultiTenantEngine.open([("a", acl_small), ("a", acl_small)])
+
+    def test_needs_at_least_one_tenant(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            MultiTenantEngine.open([])
+
+    def test_spec_coercion_and_registration_order(self, acl_small):
+        with MultiTenantEngine.open([
+            ("plain", acl_small),
+            ({"name": "fromdict", "weight": 2.0}, acl_small),
+            (TenantSpec("full", CONFIG), acl_small),
+        ]) as mte:
+            assert mte.names == ("plain", "fromdict", "full")
+            assert mte.spec("fromdict").weight == 2.0
+            assert mte.engine("full").config == CONFIG
+
+    def test_unknown_workload_name_rejected(self, acl_small):
+        tenants, workloads = make_fleet(1)
+        with MultiTenantEngine.open(tenants) as mte:
+            with pytest.raises(ConfigError, match="unknown tenant"):
+                mte.serve({"nobody": workloads["t0"]})
+            with pytest.raises(ConfigError, match="unknown tenant"):
+                mte.engine("nobody")
+
+
+# ---------------------------------------------------------------------------
+# Isolation by construction
+# ---------------------------------------------------------------------------
+class TestIsolation:
+    def test_per_tenant_results_bit_identical_to_isolated_runs(self):
+        tenants, workloads = make_fleet(3)
+        want = isolated_matches(tenants, workloads)
+        with MultiTenantEngine.open(tenants) as mte:
+            report = mte.serve(workloads, segment_packets=256)
+        assert report.backend == "multi-tenant"
+        assert report.n_packets == sum(t.n_packets for t in workloads.values())
+        by_name = {t.name: t for t in report.tenants}
+        assert set(by_name) == set(want)
+        for name, match in want.items():
+            assert np.array_equal(by_name[name].report.match, match)
+
+    def test_epoch_bump_never_crosses_tenants(self):
+        config = EngineConfig(
+            backend="hypercuts", chunk_size=256, updatable=True,
+            cache_entries=256,
+        )
+        tenants, workloads = make_fleet(2, config=config)
+        updates = {
+            "t0": generate_update_stream(
+                tenants[0][1], 12, workloads["t0"].n_packets,
+                batch_size=4, seed=77,
+            )
+        }
+        want = isolated_matches(tenants, workloads)
+        with MultiTenantEngine.open(tenants) as mte:
+            report = mte.serve(workloads, segment_packets=256, updates=updates)
+            quiet_cache = mte.engine("t1").classifier.cache
+            # The updating tenant's epoch advanced; the quiet tenant's
+            # cache saw no invalidation and its epoch never moved.
+            assert quiet_cache.stats.invalidations == 0
+        by_name = {t.name: t for t in report.tenants}
+        assert by_name["t0"].report.update_ops > 0
+        assert by_name["t0"].report.final_epoch > 0
+        assert not by_name["t1"].report.update_ops
+        assert (by_name["t1"].report.final_epoch or 0) == 0
+        # The quiet tenant's output is byte-for-byte the isolated run.
+        assert np.array_equal(by_name["t1"].report.match, want["t1"])
+
+    def test_streamed_chunks_cover_every_tenant_in_order(self):
+        tenants, workloads = make_fleet(2)
+        with MultiTenantEngine.open(tenants) as mte:
+            seen: dict[str, list] = {"t0": [], "t1": []}
+            for name, chunk in mte.stream(workloads, segment_packets=256):
+                seen[name].append(chunk)
+        for name, chunks in seen.items():
+            assert [c.index for c in chunks] == list(range(len(chunks)))
+            assert sum(c.n_packets for c in chunks) == 1024
+            starts = [c.start for c in chunks]
+            assert starts == sorted(starts)
+
+
+# ---------------------------------------------------------------------------
+# Weighted-fair admission
+# ---------------------------------------------------------------------------
+class TestAdmission:
+    def test_deficit_round_robin_honours_weights(self):
+        tenants, workloads = make_fleet(2, weights={"t0": 2.0})
+        with MultiTenantEngine.open(tenants) as mte:
+            order = [
+                name for name, _chunk
+                in mte.stream(workloads, segment_packets=256, quantum=256)
+            ]
+        # Round one credits t0 two segments' worth and t1 one.
+        assert order[:3] == ["t0", "t0", "t1"]
+        assert order.count("t0") == order.count("t1") == 4
+
+    def test_quantum_must_be_positive(self):
+        tenants, workloads = make_fleet(1)
+        with MultiTenantEngine.open(tenants) as mte:
+            with pytest.raises(ConfigError, match="quantum"):
+                list(mte.stream(workloads, quantum=0))
+
+    def test_oversized_segments_still_serve(self):
+        # A segment bigger than one round's credit must not starve: the
+        # deficit accumulates across rounds until the segment fits.
+        tenants, workloads = make_fleet(2, weights={"t0": 2.0})
+        with MultiTenantEngine.open(tenants) as mte:
+            report = mte.serve(workloads, segment_packets=1024, quantum=64)
+        assert all(t.n_packets == 1024 for t in report.tenants)
+
+
+# ---------------------------------------------------------------------------
+# The shared persistent pool lease
+# ---------------------------------------------------------------------------
+class _FakePipeline:
+    def __init__(self, persistent=True, plans_fork=True):
+        self.persistent = persistent
+        self._plans_fork = plans_fork
+        self.closed = 0
+
+    def fork_planned(self):
+        return self._plans_fork
+
+    def close(self):
+        self.closed += 1
+
+
+class TestPoolLease:
+    def test_at_most_one_holder_with_handover(self):
+        lease = _PoolLease()
+        a, b = _FakePipeline(), _FakePipeline()
+        lease.admit("a", a)
+        assert lease.holder == "a"
+        lease.admit("a", a)
+        assert (lease.holder, a.closed) == ("a", 0)
+        lease.admit("b", b)  # handover tears the previous pool down
+        assert (lease.holder, a.closed, b.closed) == ("b", 1, 0)
+        lease.release("a")  # not the holder: no-op
+        assert lease.holder == "b"
+        lease.release("b")
+        assert (lease.holder, b.closed) == (None, 1)
+
+    def test_non_pool_tiers_never_take_the_lease(self):
+        lease = _PoolLease()
+        lease.admit("a", _FakePipeline(persistent=False))
+        lease.admit("b", _FakePipeline(plans_fork=False))
+        assert lease.holder is None
+        lease.close()
+
+    def test_close_drops_the_holder(self):
+        lease = _PoolLease()
+        p = _FakePipeline()
+        lease.admit("a", p)
+        lease.close()
+        assert (lease.holder, p.closed) == (None, 1)
+
+
+# ---------------------------------------------------------------------------
+# Fault containment
+# ---------------------------------------------------------------------------
+class TestFaultContainment:
+    def test_faulted_tenant_leaves_others_bit_identical(self):
+        tenants, workloads = make_fleet(3)
+        want = isolated_matches(tenants, workloads)
+        with MultiTenantEngine.open(tenants) as mte:
+            def boom(*args, **kwargs):
+                raise RuntimeError("injected tenant fault")
+
+            mte.engine("t1").pipeline.run = boom
+            report = mte.serve(workloads, segment_packets=256)
+        by_name = {t.name: t for t in report.tenants}
+        assert by_name["t1"].fault == "RuntimeError: injected tenant fault"
+        assert by_name["t1"].n_packets == 0
+        for name in ("t0", "t2"):
+            assert by_name[name].fault is None
+            assert np.array_equal(by_name[name].report.match, want[name])
+
+    def test_fault_lands_in_the_aggregate_dict(self):
+        tenants, workloads = make_fleet(2)
+        with MultiTenantEngine.open(tenants) as mte:
+            def boom(*args, **kwargs):
+                raise ValueError("bad arena")
+
+            mte.engine("t0").pipeline.run = boom
+            report = mte.serve(workloads, segment_packets=256)
+        data = report.to_dict()
+        faults = {t["name"]: t.get("fault") for t in data["tenants"]}
+        assert faults["t0"] == "ValueError: bad arena"
+        assert faults.get("t1") is None
+
+
+# ---------------------------------------------------------------------------
+# Accounting
+# ---------------------------------------------------------------------------
+class TestReporting:
+    def test_slo_percentiles_and_throughput(self):
+        tenants, workloads = make_fleet(2)
+        with MultiTenantEngine.open(tenants) as mte:
+            report = mte.serve(workloads, segment_packets=256)
+        for tenant in report.tenants:
+            slo = tenant.slo
+            assert slo is not None
+            assert slo["batches"] == tenant.n_segments == 4
+            assert 0 < slo["p50_ms"] <= slo["p95_ms"] <= slo["p99_ms"]
+            assert tenant.busy_s > 0
+            assert tenant.throughput_pps > 0
+
+    def test_aggregate_report_is_json_safe(self):
+        tenants, workloads = make_fleet(2)
+        with MultiTenantEngine.open(tenants) as mte:
+            report = mte.serve(workloads, segment_packets=256)
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["backend"] == "multi-tenant"
+        assert [t["name"] for t in data["tenants"]] == ["t0", "t1"]
+        for tenant in data["tenants"]:
+            assert tenant["n_packets"] == 1024
+            assert "slo" in tenant or "latency" not in tenant
+
+
+# ---------------------------------------------------------------------------
+# AsyncEngine
+# ---------------------------------------------------------------------------
+def _serve_threads():
+    return {
+        t.name for t in threading.enumerate()
+        if t.name.startswith("repro-serve")
+    }
+
+
+def _assert_serve_threads_gone():
+    for _ in range(100):
+        if not _serve_threads():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"serve threads leaked: {_serve_threads()}")
+
+
+class TestAsyncEngine:
+    def test_stream_bit_identical_to_sync(self, acl_small, acl_small_trace):
+        async def run():
+            async with AsyncEngine.open(CONFIG, acl_small) as engine:
+                chunks = []
+                async for chunk in engine.stream(
+                    iter_trace_segments(acl_small_trace, 256)
+                ):
+                    chunks.append(chunk)
+                report = await engine.classify(acl_small_trace)
+                return chunks, report
+
+        chunks, report = asyncio.run(run())
+        got = np.concatenate([c.match for c in chunks])
+        assert np.array_equal(got, report.match)
+
+    def test_classify_stream_off_the_loop(self, acl_small, acl_small_trace):
+        async def run():
+            async with AsyncEngine.open(CONFIG, acl_small) as engine:
+                return await engine.classify_stream(
+                    iter_trace_segments(acl_small_trace, 512)
+                )
+
+        report = asyncio.run(run())
+        assert report.n_packets == acl_small_trace.n_packets
+        assert report.n_segments == 4
+
+    def test_early_break_tears_the_session_down(
+        self, acl_small, acl_small_trace
+    ):
+        config = EngineConfig(
+            backend="linear", chunk_size=256, shards=2, shard_mode="threads"
+        )
+
+        async def run():
+            async with AsyncEngine.open(config, acl_small) as engine:
+                async for chunk in engine.stream(
+                    iter_trace_segments(acl_small_trace, 256),
+                    prefetch=1, ring_slots=1,
+                ):
+                    assert chunk.index == 0
+                    break
+
+        asyncio.run(run())
+        # asyncio.to_thread's executor threads outlive the loop by
+        # design; only the engine's own serve threads must be gone.
+        _assert_serve_threads_gone()
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+class TestServeCli:
+    def test_serve_command_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+
+        engine_json = tmp_path / "engine.json"
+        engine_json.write_text(json.dumps(
+            {"backend": "linear", "chunk_size": 256}
+        ))
+        tenants_json = tmp_path / "tenants.json"
+        tenants_json.write_text(json.dumps([
+            {"name": "gold", "weight": 2.0, "rules": 60, "seed": 11,
+             "packets": 600},
+            {"name": "bronze", "rules": 60, "seed": 23, "packets": 600,
+             "zipf": 1.0, "flows": 32},
+        ]))
+        out_json = tmp_path / "report.json"
+        rc = main([
+            "serve", "--config", str(engine_json),
+            "--tenants", str(tenants_json),
+            "--segment-packets", "256", "-o", str(out_json),
+        ])
+        captured = capsys.readouterr().out
+        assert rc == 0
+        assert "served 2 tenants: 1200 packets" in captured
+        assert "gold" in captured and "bronze" in captured
+        data = json.loads(out_json.read_text())
+        assert [t["name"] for t in data["tenants"]] == ["gold", "bronze"]
+
+    def test_serve_rejects_unknown_tenant_keys(self, tmp_path, capsys):
+        from repro.cli import main
+
+        tenants_json = tmp_path / "tenants.json"
+        tenants_json.write_text(json.dumps([{"name": "a", "rulez": 60}]))
+        rc = main(["serve", "--tenants", str(tenants_json)])
+        assert rc == 2
+        assert "unknown keys" in capsys.readouterr().err
