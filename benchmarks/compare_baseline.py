@@ -54,6 +54,7 @@ GATED_METRICS = frozenset({
     "stream_overlap.end_to_end_speedup",
     "fault_recovery.retried_throughput_ratio",
     "multi_tenant.aggregate_ratio",
+    "stage_graph.overhead_ratio",
 })
 
 #: Metric families that must be non-decreasing along an ordered axis of

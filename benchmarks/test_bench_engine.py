@@ -635,6 +635,48 @@ def test_oracle_batch_match_speedup(acl1k, acl1k_trace):
 
 
 # ---------------------------------------------------------------------------
+# Stage-graph RX pipeline vs bare classify
+# ---------------------------------------------------------------------------
+def test_stage_graph_overhead_gate(acl1k, acl1k_zipf_trace):
+    """Acceptance gate: the full eight-stage line-card RX graph (parse
+    -> drop -> extract -> tcam_prefilter -> flow_cache -> classify ->
+    rewrite -> queue_select) serves the Zipf workload at >= 0.5x the
+    throughput of a bare flow-cached ``Engine.classify`` on the same
+    classifier configuration, with bit-identical verdicts.  Lands as
+    ``stage_graph`` in ``BENCH_engine.json``; ``overhead_ratio`` is
+    gated by ``compare_baseline.py``."""
+    from repro.stages import StageGraph, default_graph
+
+    trace = acl1k_zipf_trace
+    overlay = {"backend": "hypercuts", "chunk_size": 4096}
+    config = EngineConfig.from_dict({
+        **EngineConfig().to_dict(), **overlay,
+        "cache_entries": 4096, "cache_ways": 4,
+    })
+    spec = default_graph(overlay, cache_entries=4096)
+    with Engine.open(config, acl1k) as engine:
+        want = engine.classify(trace)
+        t_bare = _best_of(lambda: engine.classify(trace))
+    with StageGraph(spec, acl1k) as graph:
+        got = graph.run(trace)
+        assert np.array_equal(got.match, want.match)
+        t_graph = _best_of(lambda: graph.run(trace))
+    ratio = t_bare / t_graph
+    _PERF["stage_graph"] = {
+        "stages": len(spec.stages),
+        "rules": len(acl1k),
+        "packets": trace.n_packets,
+        "bare_s": round(t_bare, 4),
+        "graph_s": round(t_graph, 4),
+        "overhead_ratio": round(ratio, 2),
+        "graph_pps": round(trace.n_packets / t_graph),
+    }
+    assert ratio >= 0.5, (
+        f"stage graph serves at only {ratio:.2f}x bare classify"
+    )
+
+
+# ---------------------------------------------------------------------------
 # Multi-tenant serving vs the single-tenant engine
 # ---------------------------------------------------------------------------
 def test_multi_tenant_aggregate_gate(acl1k, acl1k_trace):

@@ -93,6 +93,9 @@ class IncrementalClassifier:
         self._refcounts = self._count_refs()
         #: Ruleset version: bumped once per applied update batch.
         self.update_epoch = 0
+        #: Node ids the most recent :meth:`apply_updates` batch touched
+        #: (for incremental hardware re-sync; empty before any batch).
+        self.last_touched: set[int] = set()
 
     # ------------------------------------------------------------------
     def _config(self):
@@ -248,10 +251,11 @@ class IncrementalClassifier:
         inserted = removed = skipped = 0
         ids: list[int] = []
         pending: list[int] = []
+        touched: set[int] = set()
 
         def flush() -> None:
             if pending:
-                self._scrub(pending)
+                touched.update(self._scrub(pending).touched)
                 pending.clear()
 
         for op in batch:
@@ -259,7 +263,7 @@ class IncrementalClassifier:
                 raise BuildError(f"not a RuleUpdate: {op!r}")
             if op.op == OP_INSERT:
                 flush()
-                self.insert(op.rule)
+                touched.update(self.insert(op.rule).touched)
                 ids.append(len(self._ruleset) - 1)
                 inserted += 1
             elif op.op == OP_REMOVE:
@@ -277,6 +281,9 @@ class IncrementalClassifier:
                 raise BuildError(f"unknown update op {op.op!r}")
         flush()
         self.update_epoch += 1
+        # Node ids whose kernel rows this batch changed — what an
+        # incremental hardware re-sync (repro.hw.resync) needs to know.
+        self.last_touched = touched
         return UpdateResult(
             epoch=self.update_epoch, inserted=inserted, removed=removed,
             skipped=skipped, inserted_ids=tuple(ids),

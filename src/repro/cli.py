@@ -15,6 +15,10 @@ Subcommands mirror a hardware bring-up flow:
   a base engine config plus a tenants JSON (one ruleset/trace/weight
   per tenant), run the weighted-fair session, and print per-tenant
   throughput and SLO percentiles alongside the aggregate;
+* ``linecard`` — run a declarative line-card RX stage graph
+  (:class:`~repro.stages.StageGraph`: parse -> drop -> extract ->
+  tcam_prefilter -> flow_cache -> classify -> rewrite -> queue_select)
+  over one engine session and print per-stage telemetry;
 * ``sweep`` — expand a declarative :class:`~repro.sweeps.SweepSpec`
   scenario grid (family x size x backend x cache x skew x churn), run
   every cell through the engine, and emit ``BENCH_sweeps.json`` plus a
@@ -583,6 +587,67 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_linecard(args) -> int:
+    from .stages import StageGraph, StageGraphSpec, default_graph
+
+    if args.emit_graph:
+        spec = default_graph(
+            {"backend": args.algorithm},
+            cache_entries=args.cache_entries,
+            cache_ways=args.cache_ways,
+        )
+        spec.save(args.emit_graph)
+        print(f"wrote the default {len(spec.stages)}-stage graph "
+              f"to {args.emit_graph}")
+        return 0
+    if args.graph:
+        spec = StageGraphSpec.load(args.graph)
+    else:
+        spec = default_graph(
+            {"backend": args.algorithm},
+            cache_entries=args.cache_entries,
+            cache_ways=args.cache_ways,
+        )
+    rs = _load_or_generate(args)
+    plan = FaultPlan.coerce(args.faults) if args.faults else None
+    source = args.trace_lines or _load_or_generate_trace(args, rs)
+    with StageGraph(spec, rs) as graph:
+        report = graph.run(
+            source, faults=plan, segment_packets=args.segment_packets
+        )
+    print(f"graph {spec.name!r}: {len(spec.stages)} stages over the "
+          f"{graph.config.backend!r} backend")
+    print(f"{report.n_packets} packets in {report.elapsed_s * 1e3:.1f} ms "
+          f"({report.throughput_pps:,.0f} packets/s), "
+          f"{100 * report.matched_fraction:.1f}% matched")
+    for s in report.stages:
+        line = (f"  {s.name:<15s} in {s.packets_in:>8d}  "
+                f"out {s.packets_out:>8d}  {s.energy_j:.3E} J")
+        if s.dropped:
+            line += "  drops " + ", ".join(
+                f"{k}={v}" for k, v in sorted(s.drops.items())
+            )
+        if s.retries:
+            line += f"  retries {s.retries}"
+        print(line)
+    hit_rate = report.cache_hit_rate
+    if hit_rate is not None:
+        print(f"flow cache hit rate: {100 * hit_rate:.1f}%")
+    fault = report.fault
+    if fault is not None and fault.quarantined:
+        print(f"quarantined: {fault.quarantined} malformed trace lines")
+    if fault is not None and (fault.faults or fault.retries):
+        print(f"faults: {fault.to_dict()}")
+    if args.output:
+        import json
+
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_tables(args) -> int:
     from .experiments.run_all import run_all
 
@@ -795,6 +860,58 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("-v", "--verbose", action="store_true",
                    help="print one progress line per cell")
     s.set_defaults(fn=cmd_sweep)
+
+    l = sub.add_parser(
+        "linecard",
+        help="run a declarative line-card RX stage graph (parse -> drop "
+             "-> extract -> tcam_prefilter -> flow_cache -> classify -> "
+             "rewrite -> queue_select) over one Engine session",
+    )
+    l.add_argument("--graph", default=None, metavar="GRAPH.json",
+                   help="StageGraphSpec JSON (StageGraphSpec.save / "
+                        "--emit-graph); default: the built-in full "
+                        "pipeline with the flags below")
+    l.add_argument("--emit-graph", default=None, metavar="FILE.json",
+                   help="write the default graph spec (honouring "
+                        "--algorithm/--cache-entries) as editable JSON "
+                        "and exit")
+    l.add_argument("--family", default="acl1",
+                   choices=["acl1", "fw1", "ipc1"])
+    l.add_argument("--rules", type=int, default=1000)
+    l.add_argument("--seed", type=int, default=7)
+    l.add_argument("--ruleset-file", default=None,
+                   help="load instead of generating")
+    l.add_argument("--algorithm", default="hypercuts",
+                   choices=_ALGORITHM_CHOICES,
+                   help="classify-stage backend for the default graph "
+                        "(ignored with --graph: the spec names its own)")
+    l.add_argument("--packets", type=int, default=100000)
+    l.add_argument("--zipf", type=float, default=None, metavar="SKEW",
+                   help="generate a Zipf(SKEW) flow-popularity trace")
+    l.add_argument("--flows", type=int, default=1024,
+                   help="distinct flows in the Zipf trace (with --zipf)")
+    l.add_argument("--trace-file", default=None,
+                   help="binary PacketTrace to replay")
+    l.add_argument("--trace-lines", default=None, metavar="FILE.txt",
+                   help="text trace file fed through the parse stage's "
+                        "line ingestion (malformed lines hit the "
+                        "quarantine path)")
+    l.add_argument("--cache-entries", type=int, default=4096,
+                   help="flow_cache stage entries for the default graph "
+                        "(0 omits the stage)")
+    l.add_argument("--cache-ways", type=int, default=4,
+                   help="flow_cache stage associativity")
+    l.add_argument("--segment-packets", type=int,
+                   default=DEFAULT_SEGMENT_PACKETS, metavar="N",
+                   help="packets per pipeline segment")
+    l.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="deterministic fault plan (FaultPlan.save); "
+                        "stage-targeted specs hit graph stages, the "
+                        "rest ride the engine pipeline")
+    l.add_argument("-o", "--output", default=None, metavar="REPORT.json",
+                   help="write the EngineReport (with per-stage "
+                        "telemetry) as JSON")
+    l.set_defaults(fn=cmd_linecard)
 
     t = sub.add_parser("tables", help="regenerate the paper's tables")
     t.add_argument("--quick", action="store_true")

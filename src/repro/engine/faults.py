@@ -40,7 +40,19 @@ Fault kinds
     ``segment``;
 ``update``
     the update-apply site raises :class:`~repro.core.errors.
-    InjectedFault` before applying batch ordinal ``batch``.
+    InjectedFault` before applying batch ordinal ``batch``;
+``drop_storm``
+    a stage-graph-only kind: the targeted line-card stage drops every
+    packet reaching it for the attempts it fires on (modelling an
+    upstream policer meltdown / ACL misprogram), accounted per stage
+    under the ``"drop_storm"`` drop reason.
+
+Stage targeting: a spec with ``stage`` set names a line-card pipeline
+stage (:mod:`repro.stages`) as its injection site instead of an engine
+internals site — ``crash``/``error`` raise at that stage's boundary
+(retried under the engine's supervision policy), ``drop_storm`` drops.
+Stage-targeted specs never fire inside the engine's own worker/arena/
+ingest/update sites, and vice versa.
 """
 
 from __future__ import annotations
@@ -58,10 +70,15 @@ from ..core.errors import (
 )
 
 #: The fault kinds a :class:`FaultSpec` accepts.
-FAULT_KINDS = ("crash", "hang", "error", "arena", "ingest", "update")
+FAULT_KINDS = (
+    "crash", "hang", "error", "arena", "ingest", "update", "drop_storm",
+)
 
 #: Kinds fired inside a chunk-serving worker.
 WORKER_KINDS = ("crash", "hang", "error")
+
+#: Kinds a stage-targeted spec (``stage`` set) may carry.
+STAGE_KINDS_ALLOWED = ("crash", "error", "drop_storm")
 
 #: Exit code an injected worker crash dies with (distinct from 0 and
 #: from Python's generic 1, so the supervisor's exit-code watch can
@@ -76,9 +93,12 @@ class FaultSpec:
     ``chunk``/``segment``/``batch`` select the target ordinal for the
     relevant kind (``None`` = any chunk / the first segment / any
     batch).  ``shard`` optionally restricts worker faults to one
-    thread-tier shard.  ``times`` is the number of dispatch *attempts*
-    the fault fires on — the default 1 means "first attempt only", so a
-    supervised retry recovers.
+    thread-tier shard.  ``stage`` retargets the spec at a named
+    line-card stage (:mod:`repro.stages`) instead of an engine site —
+    only ``crash``/``error``/``drop_storm`` make sense there, and
+    ``drop_storm`` *requires* a stage.  ``times`` is the number of
+    dispatch *attempts* the fault fires on — the default 1 means "first
+    attempt only", so a supervised retry recovers.
     """
 
     kind: str
@@ -86,6 +106,7 @@ class FaultSpec:
     shard: int | None = None
     segment: int | None = None
     batch: int | None = None
+    stage: str | None = None
     times: int = 1
     seconds: float = 5.0
     message: str = ""
@@ -101,6 +122,15 @@ class FaultSpec:
         if self.seconds < 0:
             raise ConfigError(
                 f"fault seconds must be >= 0, got {self.seconds}"
+            )
+        if self.kind == "drop_storm" and self.stage is None:
+            raise ConfigError(
+                "drop_storm faults target a line-card stage; set stage="
+            )
+        if self.stage is not None and self.kind not in STAGE_KINDS_ALLOWED:
+            raise ConfigError(
+                f"stage-targeted faults must be one of "
+                f"{', '.join(STAGE_KINDS_ALLOWED)}, got {self.kind!r}"
             )
 
     def to_dict(self) -> dict:
@@ -146,7 +176,8 @@ class FaultPlan:
         return tuple(
             s
             for s in self.specs
-            if s.kind in WORKER_KINDS
+            if s.stage is None
+            and s.kind in WORKER_KINDS
             and s.chunk in (None, chunk)
             and (s.shard is None or shard is None or s.shard == shard)
             and attempt < s.times
@@ -176,6 +207,30 @@ class FaultPlan:
             and s.batch in (None, batch)
             and attempt < s.times
         )
+
+    def stage_faults(
+        self, stage: str, segment: int, attempt: int
+    ) -> tuple[FaultSpec, ...]:
+        """Stage-targeted specs firing at line-card stage ``stage`` for
+        stream segment ``segment`` on this ``attempt`` (a spec without a
+        ``segment`` targets segment 0, matching :meth:`for_segment`)."""
+        return tuple(
+            s
+            for s in self.specs
+            if s.stage == stage
+            and (s.segment if s.segment is not None else 0) == segment
+            and attempt < s.times
+        )
+
+    def stage_plan(self) -> "FaultPlan | None":
+        """The stage-targeted sub-plan (specs with ``stage`` set)."""
+        specs = tuple(s for s in self.specs if s.stage is not None)
+        return FaultPlan(specs=specs, seed=self.seed) if specs else None
+
+    def engine_plan(self) -> "FaultPlan | None":
+        """The engine-internals sub-plan (specs without a ``stage``)."""
+        specs = tuple(s for s in self.specs if s.stage is None)
+        return FaultPlan(specs=specs, seed=self.seed) if specs else None
 
     def for_segment(self, segment: int) -> "FaultPlan | None":
         """The worker/arena/update sub-plan for one stream segment.

@@ -49,6 +49,7 @@ from .memory import (
     MemoryArray,
     Placement,
 )
+from .resync import ResyncStats, resync_memory_image
 
 __all__ = [
     "Accelerator",
@@ -86,4 +87,6 @@ __all__ = [
     "N_MEMORY_BLOCKS",
     "MemoryArray",
     "Placement",
+    "ResyncStats",
+    "resync_memory_image",
 ]

@@ -67,6 +67,16 @@ class MemoryArray:
         except KeyError:
             raise CapacityError(f"read of unwritten word {addr}") from None
 
+    def discard(self, addr: int) -> None:
+        """Forget a word that fell out of the layout (incremental
+        re-sync).  Not a write-port transaction: the hardware simply
+        stops pointing at the word, so ``writes`` is not charged."""
+        self._words.pop(addr, None)
+
+    def addresses(self) -> list[int]:
+        """The written word addresses (unordered snapshot)."""
+        return list(self._words)
+
     def __contains__(self, addr: int) -> bool:
         return addr in self._words
 

@@ -105,6 +105,12 @@ class EngineReport:
     #: ``None`` on single-tenant runs.
     tenants: list | None = field(default=None, repr=False)
 
+    # -- line-card stage graph -------------------------------------------
+    #: Per-stage :class:`~repro.stages.StageReport` telemetry when this
+    #: report was produced by a :class:`~repro.stages.StageGraph` run;
+    #: ``None`` on bare engine runs.
+    stages: list | None = field(default=None, repr=False)
+
     # ------------------------------------------------------------------
     @property
     def matched_fraction(self) -> float:
@@ -328,4 +334,6 @@ class EngineReport:
             out["energy_per_packet_j"] = self.energy_per_packet_j
         if self.tenants is not None:
             out["tenants"] = [t.to_dict() for t in self.tenants]
+        if self.stages is not None:
+            out["stages"] = [s.to_dict() for s in self.stages]
         return out

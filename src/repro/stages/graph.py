@@ -1,0 +1,657 @@
+"""`StageGraph` — execute a line-card RX pipeline over the Engine.
+
+The runner walks a :class:`~repro.stages.StageGraphSpec` per segment,
+vectorised: each stage transforms an ``alive`` boolean mask (and, after
+the classify stage, the segment's match array) over the whole segment at
+once, so the graph costs O(stages) numpy passes per segment, not a
+Python loop per packet.  The ``classify`` stage runs the survivors
+through the engine's own :class:`~repro.engine.pipeline.
+ClassificationPipeline` — shards, flow cache, supervision, live updates
+and all — which is what makes the stage bit-identical to a bare
+:meth:`Engine.classify <repro.serve.Engine.classify>` run by
+construction.
+
+Telemetry: every stage accumulates a :class:`StageReport` (packets
+in/out, per-reason drops, busy seconds, per-stage energy through the
+:mod:`repro.energy` models, injected faults and retries).  The run
+returns a normal :class:`~repro.serve.EngineReport` whose ``match`` is
+the *full stream-order* array (policy-dropped packets report ``-1``,
+exactly what a bare run reports for a no-match packet) and whose
+``stages`` field carries the per-stage reports into ``to_dict()``.
+
+Energy semantics (documented in ``docs/linecard.md``): the soft stages
+(parse/drop/extract/rewrite/queue_select) charge SRAM access energy
+(:data:`~repro.energy.SRAM_ACCESS_ENERGY_J`) per modelled memory touch;
+``tcam_prefilter`` charges the :class:`~repro.energy.TcamModel` per
+lookup at the Ayama operating frequency for its actual slot count;
+``flow_cache`` charges its probe; ``classify`` charges the
+:class:`~repro.energy.CacheEnergyModel` per-packet energy at the
+measured hit rate.
+
+Updates: a run that carries a live update schedule puts the
+``tcam_prefilter`` stage into **monitor mode** — the prefilter's image
+is the build-time ruleset, so dropping on it could shadow a rule
+inserted mid-stream; the stage keeps its telemetry and energy accounting
+(plus a ``would_drop`` counter) but filters nothing, preserving
+bit-identity with the bare updating engine.
+
+Faults: a :class:`~repro.engine.faults.FaultPlan` splits into its
+engine sub-plan (routed into the pipeline run, unchanged semantics) and
+its stage sub-plan (specs with ``stage`` set, matched by stage *kind*).
+Stage ``crash``/``error`` specs raise at the stage boundary and are
+retried under the engine's supervision policy — with the default
+``times=1`` the retry recovers and output stays bit-identical;
+``drop_storm`` drops every packet reaching the stage, accounted under
+the ``"drop_storm"`` drop reason.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..baselines.tcam_classifier import TcamClassifier
+from ..core.errors import CapacityError, InjectedFault, ServingFaultError
+from ..core.packet import PacketTrace
+from ..core.rules import DIM_DST_PORT, DIM_PROTO, FIVE_TUPLE
+from ..core.updates import ScheduledUpdate
+from ..energy import SRAM_ACCESS_ENERGY_J, CacheEnergyModel, TcamModel
+from ..energy.tcam import TCAM_ENTRY_BYTES
+from ..engine.faults import FaultPlan
+from ..engine.supervision import FaultReport
+from ..serve import Engine, EngineReport
+from ..serve.ingest import (
+    DEFAULT_SEGMENT_PACKETS,
+    iter_trace_file,
+    iter_trace_segments,
+)
+from .spec import StageGraphSpec, StageSpec
+
+#: Mixing weights for the deterministic queue-select flow hash (odd
+#: constants, one per 5-tuple field; Fibonacci-hash style).
+_HASH_WEIGHTS = np.array(
+    [0x9E3779B1, 0x85EBCA77, 0xC2B2AE3D, 0x27D4EB2F, 0x165667B1],
+    dtype=np.uint64,
+)
+
+
+def _flow_hash(rows: np.ndarray) -> np.ndarray:
+    """A 64-bit mixed hash per header row (vectorised).
+
+    Each column is folded in through a full splitmix64 finaliser round,
+    so structured field deltas cannot cancel the way they could under a
+    plain weighted sum.  Distinct flows colliding is a ~2**-64-per-pair
+    event — far below the simulator's noise floor."""
+    h = np.zeros(rows.shape[0], dtype=np.uint64)
+    for j in range(rows.shape[1]):
+        h ^= rows[:, j].astype(np.uint64) + _HASH_WEIGHTS[
+            j % len(_HASH_WEIGHTS)
+        ]
+        h += np.uint64(0x9E3779B97F4A7C15)
+        h = (h ^ (h >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        h = (h ^ (h >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        h ^= h >> np.uint64(31)
+    return h
+
+
+@dataclass
+class StageReport:
+    """Per-stage telemetry of one :class:`StageGraph` run."""
+
+    name: str
+    kind: str
+    packets_in: int = 0
+    packets_out: int = 0
+    busy_s: float = 0.0
+    energy_j: float = 0.0
+    #: Per-reason drop counts (e.g. ``malformed``, ``acl_proto``,
+    #: ``tcam_miss``, ``drop_storm``).
+    drops: dict = field(default_factory=dict)
+    faults_injected: int = 0
+    retries: int = 0
+    #: Stage-specific extras (TCAM slot count, queue occupancy, cache
+    #: hit rate, ...), flat JSON-safe scalars/lists only.
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def dropped(self) -> int:
+        return int(sum(self.drops.values()))
+
+    def drop(self, reason: str, count: int) -> None:
+        if count:
+            self.drops[reason] = self.drops.get(reason, 0) + int(count)
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "kind": self.kind,
+            "packets_in": self.packets_in,
+            "packets_out": self.packets_out,
+            "busy_s": round(self.busy_s, 6),
+            "energy_j": self.energy_j,
+        }
+        if self.packets_in:
+            out["energy_per_packet_j"] = self.energy_j / self.packets_in
+        if self.drops:
+            out["drops"] = dict(self.drops)
+        if self.faults_injected:
+            out["faults_injected"] = self.faults_injected
+        if self.retries:
+            out["retries"] = self.retries
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        return out
+
+
+class StageGraph:
+    """A line-card RX serving session: one spec, one engine, one TCAM.
+
+    Usable as a context manager (closes the engine's worker pool).  The
+    optional prebuilt ``classifier`` is forwarded to the engine so sweep
+    cells can share builds exactly like bare cells do.
+    """
+
+    def __init__(
+        self,
+        spec: StageGraphSpec | dict | str,
+        ruleset,
+        *,
+        classifier=None,
+        **backend_params,
+    ) -> None:
+        if isinstance(spec, (str, Path)):
+            spec = StageGraphSpec.load(str(spec))
+        elif isinstance(spec, dict):
+            spec = StageGraphSpec.from_dict(spec)
+        self.spec = spec
+        self.ruleset = ruleset
+        self.config = spec.engine_config()
+        self.engine = Engine(
+            self.config, ruleset, classifier=classifier, **backend_params
+        )
+        self.tcam: TcamClassifier | None = None
+        self._tcam_bypass: str | None = None
+        #: Memoised TCAM verdicts keyed by sorted 64-bit flow hash (the
+        #: prefilter ruleset is static for the graph's lifetime), plus a
+        #: direct-indexed table for the warm path (one gather per
+        #: packet; slot evictions just fall back to the sorted memo).
+        self._tcam_keys = np.empty(0, dtype=np.uint64)
+        self._tcam_vals = np.empty(0, dtype=np.int64)
+        tc = spec.stage("tcam_prefilter")
+        if tc is not None:
+            if ruleset.schema is not FIVE_TUPLE:
+                self._tcam_bypass = "schema"
+            else:
+                max_slots = tc.params.get("max_slots", 0)
+                try:
+                    self.tcam = TcamClassifier(
+                        ruleset, **({"max_slots": max_slots} if max_slots else {})
+                    )
+                except CapacityError:
+                    # The expansion blew the stage's slot budget: a real
+                    # line card would fall back to software/full lookup,
+                    # so the stage passes everything through (recorded).
+                    self._tcam_bypass = "max_slots"
+        if self.tcam is not None:
+            self._tcam_tkeys = np.full(
+                1 << 18, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64
+            )
+            self._tcam_tvals = np.zeros(1 << 18, dtype=np.int64)
+
+    @property
+    def classifier(self):
+        return self.engine.classifier
+
+    def close(self) -> None:
+        self.engine.close()
+
+    def __enter__(self) -> "StageGraph":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _segments(self, source, segment_packets: int):
+        """Normalise any supported source into a segment iterator."""
+        if isinstance(source, (str, Path)):
+            return iter_trace_file(
+                str(source),
+                self.ruleset.schema,
+                segment_packets,
+                on_malformed=self.config.on_malformed,
+                quarantine=self.engine.quarantine,
+            )
+        if isinstance(source, PacketTrace):
+            return iter_trace_segments(source, segment_packets)
+        if isinstance(source, np.ndarray):
+            trace = PacketTrace(
+                np.asarray(source, dtype=np.uint32), self.ruleset.schema
+            )
+            return iter_trace_segments(trace, segment_packets)
+        return iter(source)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        source,
+        *,
+        updates=None,
+        faults=None,
+        segment_packets: int = DEFAULT_SEGMENT_PACKETS,
+    ) -> EngineReport:
+        """Serve ``source`` through every stage and return the merged
+        report.
+
+        ``source`` is a :class:`PacketTrace`, a raw header array, a
+        trace-file path (parsed through the quarantine machinery per the
+        ``parse`` stage's policy) or any iterable of segments.
+        ``updates`` is a stream-coordinate update schedule forwarded to
+        the classify stage; ``faults`` a
+        :class:`~repro.engine.faults.FaultPlan` (or dict/list/path).
+        """
+        plan = FaultPlan.coerce(faults)
+        stage_plan = plan.stage_plan() if plan is not None else None
+        engine_plan = plan.engine_plan() if plan is not None else None
+        entries = self.engine._normalise_stream_updates(updates)
+        policy = self.engine.pipeline.policy
+        max_retries = policy.max_retries if policy is not None else 0
+        fail_fast = policy is None or policy.fault_policy == "fail"
+
+        reports = [
+            StageReport(name=s.name, kind=s.kind) for s in self.spec.stages
+        ]
+        quar_before = (
+            self.engine.quarantine.count if self.engine.quarantine else 0
+        )
+        results = []
+        matches: list[np.ndarray] = []
+        seg_index = 0
+        offset = 0
+        upd_i = 0
+        stage_retries = 0
+        storm_events: list[str] = []
+        started = time.perf_counter()
+        segments = self._segments(source, segment_packets)
+        while True:
+            quar0 = (
+                self.engine.quarantine.count if self.engine.quarantine else 0
+            )
+            pull0 = time.perf_counter()
+            try:
+                segment = next(segments)
+            except StopIteration:
+                break
+            pull_s = time.perf_counter() - pull0
+            trace = self.engine._as_trace(segment)
+            n = trace.n_packets
+            quarantined = (
+                self.engine.quarantine.count - quar0
+                if self.engine.quarantine
+                else 0
+            )
+            alive = np.ones(n, dtype=bool)
+            seg_match = np.full(n, -1, dtype=np.int64)
+            scratch: dict = {}  # per-segment shared work (flow hash)
+            # Updates due inside this segment, rebased onto the classify
+            # stage's survivor coordinates (the batch applies at the
+            # same *packet*, wherever upstream drops moved its index).
+            due: list[tuple[int, ScheduledUpdate]] = []
+            while (
+                upd_i < len(entries)
+                and entries[upd_i].at_packet < offset + n
+            ):
+                due.append(
+                    (max(0, entries[upd_i].at_packet - offset), entries[upd_i])
+                )
+                upd_i += 1
+            for rep, stage in zip(reports, self.spec.stages):
+                n_in = int(alive.sum())
+                rep.packets_in += n_in
+                if stage.kind == "parse":
+                    rep.packets_in += quarantined
+                    rep.busy_s += pull_s
+                    rep.drop("malformed", quarantined)
+                    rep.energy_j += (
+                        (n_in + quarantined) * SRAM_ACCESS_ENERGY_J
+                    )
+                    rep.packets_out += n_in
+                    continue
+                attempt = 0
+                while True:
+                    specs = (
+                        stage_plan.stage_faults(stage.kind, seg_index, attempt)
+                        if stage_plan is not None
+                        else ()
+                    )
+                    t0 = time.perf_counter()
+                    try:
+                        raising = [
+                            s for s in specs if s.kind in ("crash", "error")
+                        ]
+                        if raising:
+                            rep.faults_injected += len(raising)
+                            s0 = raising[0]
+                            raise InjectedFault(
+                                s0.message
+                                or f"injected {s0.kind} in stage "
+                                f"{stage.kind} (segment {seg_index})",
+                                kind=s0.kind,
+                                chunk=seg_index,
+                            )
+                        storms = [
+                            s for s in specs if s.kind == "drop_storm"
+                        ]
+                        if storms:
+                            rep.faults_injected += len(storms)
+                            rep.drop("drop_storm", int(alive.sum()))
+                            storm_events.append(
+                                f"stage:{stage.kind}:drop_storm"
+                                f"@segment{seg_index}"
+                            )
+                            alive[:] = False
+                        result = self._run_stage(
+                            stage, rep, trace, alive, seg_match,
+                            seg_index=seg_index, due=due,
+                            engine_plan=engine_plan,
+                            tcam_monitor=bool(entries),
+                            scratch=scratch,
+                        )
+                        if result is not None:
+                            results.append(result)
+                        break
+                    except InjectedFault as exc:
+                        if fail_fast or attempt >= max_retries:
+                            raise ServingFaultError(
+                                f"stage {stage.kind!r} fault not recovered "
+                                f"(policy "
+                                f"{self.config.fault_policy!r}): {exc}",
+                                chunk=seg_index,
+                                cause=getattr(exc, "kind", "error"),
+                            ) from exc
+                        rep.retries += 1
+                        stage_retries += 1
+                        attempt += 1
+                    finally:
+                        rep.busy_s += time.perf_counter() - t0
+                rep.packets_out += int(alive.sum())
+            matches.append(seg_match)
+            offset += n
+            seg_index += 1
+        elapsed = time.perf_counter() - started
+        return self._finalise(
+            reports, results, matches, elapsed,
+            n_segments=seg_index,
+            n_packets=offset,
+            quarantined=(
+                self.engine.quarantine.count - quar_before
+                if self.engine.quarantine
+                else 0
+            ),
+            stage_retries=stage_retries,
+            storm_events=storm_events,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_stage(
+        self,
+        stage: StageSpec,
+        rep: StageReport,
+        trace: PacketTrace,
+        alive: np.ndarray,
+        seg_match: np.ndarray,
+        *,
+        seg_index: int,
+        due,
+        engine_plan,
+        tcam_monitor: bool = False,
+        scratch: dict | None = None,
+    ):
+        """Execute one stage body over the segment; returns the
+        classify stage's :class:`PipelineResult`, else ``None``."""
+        headers = trace.headers
+        n_in = int(alive.sum())
+        all_alive = n_in == trace.n_packets
+        scratch = scratch if scratch is not None else {}
+
+        def seg_hash() -> np.ndarray:
+            """The segment's per-packet flow hash, computed once and
+            shared by the tcam_prefilter memo and the queue hash."""
+            h = scratch.get("flow_hash")
+            if h is None:
+                h = scratch["flow_hash"] = _flow_hash(headers)
+            return h if all_alive else h[alive]
+        if stage.kind == "drop":
+            deny_proto = stage.params.get("deny_proto", [])
+            if deny_proto:
+                hit = alive & np.isin(
+                    headers[:, DIM_PROTO],
+                    np.asarray(deny_proto, dtype=np.uint32),
+                )
+                rep.drop("acl_proto", int(hit.sum()))
+                alive &= ~hit
+            for lo, hi in stage.params.get("deny_dst_ports", []):
+                dport = headers[:, DIM_DST_PORT]
+                hit = alive & (dport >= lo) & (dport <= hi)
+                rep.drop("acl_dst_port", int(hit.sum()))
+                alive &= ~hit
+            rep.energy_j += n_in * SRAM_ACCESS_ENERGY_J
+        elif stage.kind == "extract":
+            fields_ = stage.params.get(
+                "fields", list(range(trace.schema.ndim))
+            )
+            # Projection copy models the extraction datapath: one
+            # modelled access per extracted field per live packet.
+            if n_in:
+                _ = np.ascontiguousarray(
+                    headers[alive][:, np.asarray(fields_, dtype=np.intp)]
+                )
+            rep.extra["fields"] = list(fields_)
+            rep.energy_j += n_in * len(fields_) * SRAM_ACCESS_ENERGY_J
+        elif stage.kind == "tcam_prefilter":
+            if self.tcam is None:
+                rep.extra["bypassed"] = self._tcam_bypass or "unavailable"
+            elif n_in:
+                rows = headers if all_alive else headers[alive]
+                verdict = self._tcam_verdicts(rows, seg_hash())
+                survivors = verdict >= 0
+                if tcam_monitor:
+                    # Live updates ride this run: the prefilter's image
+                    # is the *build-time* ruleset, so dropping on it
+                    # could shadow a rule inserted mid-stream.  A real
+                    # line card re-programs the TCAM out of band; the
+                    # model observes (telemetry + energy) without
+                    # filtering until the run carries no updates.
+                    rep.extra["mode"] = "monitor"
+                    rep.extra["would_drop"] = rep.extra.get(
+                        "would_drop", 0
+                    ) + int((~survivors).sum())
+                elif not survivors.all():
+                    rep.drop("tcam_miss", int((~survivors).sum()))
+                    keep = alive.copy()
+                    keep[alive] = survivors
+                    alive &= keep
+                rep.extra["n_slots"] = self.tcam.n_slots
+                rep.extra["unique_flows"] = int(self._tcam_keys.size)
+                model = TcamModel()
+                rep.energy_j += n_in * model.energy_per_lookup_j(
+                    self.tcam.n_slots * TCAM_ENTRY_BYTES, self.tcam_freq_hz
+                )
+        elif stage.kind == "flow_cache":
+            # The cache executes inside the engine (CachedClassifier is
+            # bit-identical by construction); this stage charges the
+            # probe energy and its hit/miss telemetry is backfilled from
+            # the merged report in _finalise.
+            rep.extra["entries"] = self.config.cache_entries
+            rep.extra["ways"] = self.config.cache_ways
+            rep.energy_j += n_in * SRAM_ACCESS_ENERGY_J
+        elif stage.kind == "classify":
+            if n_in == trace.n_packets:
+                sub = trace  # nothing dropped upstream: zero-copy
+            else:
+                sub = PacketTrace(
+                    np.ascontiguousarray(headers[alive]), trace.schema
+                )
+            local = []
+            if due:
+                # Rebase each batch's offset from segment coordinates to
+                # survivor coordinates: it applies after however many of
+                # the first ``at`` packets survived the upstream stages.
+                for at, entry in due:
+                    local.append(
+                        ScheduledUpdate(
+                            int(alive[:at].sum()), entry.batch
+                        )
+                    )
+            result = self.engine.pipeline.run(
+                sub,
+                updates=local or None,
+                faults=(
+                    engine_plan.for_segment(seg_index)
+                    if engine_plan is not None
+                    else None
+                ),
+            )
+            seg_match[alive] = result.match
+            return result
+        elif stage.kind == "rewrite":
+            matched = seg_match if all_alive else seg_match[alive]
+            touched = int((matched >= 0).sum())
+            nbytes = stage.params.get("bytes", 14)
+            rep.extra["bytes"] = nbytes
+            rep.extra["packets_rewritten"] = rep.extra.get(
+                "packets_rewritten", 0
+            ) + touched
+            # One modelled 32-bit SRAM write per 4 header bytes touched.
+            rep.energy_j += (
+                touched * max(1, nbytes // 4) * SRAM_ACCESS_ENERGY_J
+            )
+        elif stage.kind == "queue_select":
+            queues = stage.params.get("queues", 8)
+            policy = stage.params.get("policy", "hash")
+            if n_in:
+                if policy == "match":
+                    m = seg_match if all_alive else seg_match[alive]
+                    q = np.where(m >= 0, m % queues, 0).astype(np.int64)
+                else:
+                    q = (seg_hash() % np.uint64(queues)).astype(np.int64)
+                counts = np.bincount(q, minlength=queues)
+                prev = rep.extra.get("queue_occupancy", [0] * queues)
+                rep.extra["queue_occupancy"] = [
+                    int(a + b) for a, b in zip(prev, counts)
+                ]
+            rep.energy_j += n_in * SRAM_ACCESS_ENERGY_J
+        return None
+
+    #: Operating frequency the TCAM prefilter is modelled at (the Ayama
+    #: 10128's 77 MHz datasheet point).
+    tcam_freq_hz = 77e6
+
+    def _tcam_verdicts(self, rows: np.ndarray, h: np.ndarray) -> np.ndarray:
+        """Per-packet TCAM verdicts through the flow-hash memo.
+
+        The prefilter image is static for the graph's lifetime, so each
+        distinct flow costs the O(slots) Python model walk exactly once
+        across every run — the simulator-side analogue of the device's
+        single-cycle parallel compare — and every later sighting is a
+        vectorised ``searchsorted`` probe.  ``h`` is the rows' flow
+        hash (``_flow_hash``, precomputed once per segment).  Energy is
+        still charged per *packet* by the caller: every packet crosses
+        the TCAM."""
+        slot = (h & np.uint64(self._tcam_tkeys.size - 1)).astype(np.intp)
+        hit = self._tcam_tkeys[slot] == h
+        if hit.all():  # warm path: one gather + compare per packet
+            return self._tcam_tvals[slot]
+        out = np.empty(rows.shape[0], dtype=np.int64)
+        out[hit] = self._tcam_tvals[slot[hit]]
+        miss = ~hit
+        miss_h = h[miss]
+        keys = self._tcam_keys
+        # Resolve slot losers from the sorted memo; truly new flows go
+        # through the TCAM model once and join both structures.
+        if keys.size:
+            pos = np.minimum(np.searchsorted(keys, miss_h), keys.size - 1)
+            known = keys[pos] == miss_h
+        else:
+            known = np.zeros(miss_h.size, dtype=bool)
+        new = ~known
+        if new.any():
+            new_h = miss_h[new]
+            uniq_h, first = np.unique(new_h, return_index=True)
+            verdicts = self.tcam.classify_batch(rows[miss][new][first])
+            merged_keys = np.concatenate([keys, uniq_h])
+            merged_vals = np.concatenate(
+                [self._tcam_vals, verdicts.astype(np.int64)]
+            )
+            order = np.argsort(merged_keys, kind="stable")
+            self._tcam_keys = merged_keys[order]
+            self._tcam_vals = merged_vals[order]
+        resolved = self._tcam_vals[
+            np.searchsorted(self._tcam_keys, miss_h)
+        ]
+        out[miss] = resolved
+        miss_slots = slot[miss]
+        self._tcam_tkeys[miss_slots] = miss_h
+        self._tcam_tvals[miss_slots] = resolved
+        return out
+
+    # ------------------------------------------------------------------
+    def _finalise(
+        self,
+        reports: list[StageReport],
+        results,
+        matches,
+        elapsed: float,
+        *,
+        n_segments: int,
+        n_packets: int,
+        quarantined: int,
+        stage_retries: int,
+        storm_events: list[str],
+    ) -> EngineReport:
+        report = EngineReport.merge(
+            results, elapsed_s=elapsed,
+            energy_model=self.config.energy_model,
+        )
+        full = (
+            np.concatenate(matches)
+            if matches
+            else np.empty(0, dtype=np.int64)
+        )
+        report.match = full
+        report.n_packets = n_packets
+        report.matched = int((full >= 0).sum())
+        report.n_segments = n_segments
+        if not results:
+            report.backend = self.config.backend
+        # Classify-stage energy needs the run's measured hit rate, so it
+        # lands after the merge; the flow_cache stage's telemetry is the
+        # merged cache counters.
+        model = CacheEnergyModel.for_classifier(self.engine.classifier)
+        hit_rate = report.cache_hit_rate
+        for rep in reports:
+            if rep.kind == "classify":
+                per_packet = (
+                    model.energy_per_packet_j(hit_rate)
+                    if hit_rate is not None
+                    else model.uncached_energy_per_packet_j()
+                )
+                rep.energy_j += rep.packets_in * per_packet
+            elif rep.kind == "flow_cache" and report.cache_hits is not None:
+                rep.extra["hits"] = report.cache_hits
+                rep.extra["misses"] = report.cache_misses
+                rep.extra["hit_rate"] = (
+                    round(hit_rate, 4) if hit_rate is not None else None
+                )
+        report.stages = reports
+        if quarantined or stage_retries or storm_events:
+            if report.fault is None:
+                report.fault = FaultReport()
+            report.fault.quarantined += quarantined
+            report.fault.retries += stage_retries
+            report.fault.chunk_errors += stage_retries
+            report.fault.degradations.extend(storm_events)
+        return report

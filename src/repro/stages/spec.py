@@ -1,0 +1,403 @@
+"""`StageGraphSpec` — the declarative description of a line-card RX path.
+
+The paper models only the classification step of a line card, but every
+real RX path composes it from stages — the NetFPGA reference pipeline,
+P4 ingress controls and the classic seven-stage Ethernet RX path
+(buffer -> drop malformed -> extract headers -> TCAM prefilter -> flow
+table -> rewrite -> queue select) all share the shape.  A
+``StageGraphSpec`` names that shape once, declaratively: an ordered
+tuple of typed :class:`StageSpec` entries, each a ``kind`` from
+:data:`STAGE_KINDS` plus validated per-kind parameters.
+
+Like :class:`~repro.serve.EngineConfig` and
+:class:`~repro.sweeps.SweepSpec`, a spec round-trips losslessly through
+plain JSON (``to_dict``/``from_dict``, ``save``/``load``) and rejects
+unknown keys, unknown kinds, out-of-order stages and invalid parameter
+values loudly at construction with a :class:`~repro.core.errors.
+ConfigError` naming the offending field.
+
+Stage kinds (canonical pipeline order)
+--------------------------------------
+
+``parse``
+    header ingestion and validation; malformed input is dead-lettered
+    through the :class:`~repro.serve.ingest.QuarantineLog` machinery
+    (``on_malformed`` mirrors ``EngineConfig``).
+``drop``
+    ACL predicate drops: protocol deny list and destination-port deny
+    ranges, applied before any lookup spends memory accesses.
+``extract``
+    header-field projection — selects which fields downstream stages
+    copy; models the extraction datapath cost, never changes matches.
+``tcam_prefilter``
+    the :class:`~repro.baselines.tcam_classifier.TcamClassifier` as a
+    coarse pre-match: packets matching *no* TCAM slot cannot match any
+    rule (first-match over the same ruleset), so only survivors feed
+    the classify stage and bit-identity is preserved by construction.
+``flow_cache``
+    flow-cache geometry for the classify engine (the cache executes
+    inside the engine — :class:`~repro.engine.flowcache.
+    CachedClassifier` is bit-identical by construction — and reports
+    its hit/miss telemetry as this stage's record).
+``classify``
+    the full classification engine: any registered backend through
+    :meth:`~repro.serve.Engine.build_classifier`, with an
+    ``EngineConfig`` overlay dict as its parameter.
+``rewrite``
+    header rewrite of matched packets (models the MAC/VLAN rewrite
+    write traffic; never changes matches).
+``queue_select``
+    hashes survivors onto ``queues`` output queues and reports the
+    per-queue occupancy histogram.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import json
+from dataclasses import dataclass, field
+
+from ..core.errors import ConfigError
+from ..serve import EngineConfig
+
+#: Every stage kind, in canonical pipeline order.  A spec's stages must
+#: be a subsequence of this order (the pipeline is linear; the only
+#: branch point is ``queue_select``'s fan-out at the end).
+STAGE_KINDS = (
+    "parse",
+    "drop",
+    "extract",
+    "tcam_prefilter",
+    "flow_cache",
+    "classify",
+    "rewrite",
+    "queue_select",
+)
+
+#: Allowed parameter keys (and validators) per stage kind.
+_INT = ("int", int)
+_PARAM_SCHEMA: dict[str, dict] = {
+    "parse": {"on_malformed": ("str", str)},
+    "drop": {"deny_proto": ("int_list", None), "deny_dst_ports": ("range_list", None)},
+    "extract": {"fields": ("int_list", None)},
+    "tcam_prefilter": {"max_slots": _INT},
+    "flow_cache": {"entries": _INT, "ways": _INT, "max_age": _INT},
+    "classify": {"engine": ("dict", dict)},
+    "rewrite": {"bytes": _INT},
+    "queue_select": {"queues": _INT, "policy": ("str", str)},
+}
+
+#: Queue-assignment policies ``queue_select`` accepts: ``"hash"``
+#: spreads by a deterministic 5-tuple flow hash, ``"match"`` by the
+#: matched rule id (unmatched packets land on queue 0).
+QUEUE_POLICIES = ("hash", "match")
+
+
+def _check_param(kind: str, key: str, value):
+    """Validate one stage parameter value; returns the coerced value."""
+    tag, typ = _PARAM_SCHEMA[kind][key]
+    label = f"{kind} stage parameter {key!r}"
+    if tag == "int":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConfigError(f"{label} must be an int, got {value!r}")
+        if value < 0:
+            raise ConfigError(f"{label} must be >= 0, got {value}")
+        return value
+    if tag == "str":
+        if not isinstance(value, str):
+            raise ConfigError(f"{label} must be a string, got {value!r}")
+        return value
+    if tag == "dict":
+        if not isinstance(value, dict):
+            raise ConfigError(f"{label} must be a dict, got {value!r}")
+        return copy.deepcopy(value)
+    if tag == "int_list":
+        if not isinstance(value, (list, tuple)):
+            raise ConfigError(f"{label} must be a list of ints, got {value!r}")
+        out = []
+        for v in value:
+            if isinstance(v, bool) or not isinstance(v, int) or v < 0:
+                raise ConfigError(
+                    f"{label} must contain non-negative ints, got {v!r}"
+                )
+            out.append(v)
+        return out
+    # range_list: [[lo, hi], ...]
+    if not isinstance(value, (list, tuple)):
+        raise ConfigError(f"{label} must be a list of [lo, hi] pairs")
+    out = []
+    for pair in value:
+        if (
+            not isinstance(pair, (list, tuple))
+            or len(pair) != 2
+            or any(isinstance(v, bool) or not isinstance(v, int) for v in pair)
+        ):
+            raise ConfigError(
+                f"{label} must contain [lo, hi] int pairs, got {pair!r}"
+            )
+        lo, hi = pair
+        if lo < 0 or hi < lo:
+            raise ConfigError(
+                f"{label} pair [{lo}, {hi}] is not a valid range"
+            )
+        out.append([lo, hi])
+    return out
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One typed pipeline stage: a kind, a display name, parameters."""
+
+    kind: str
+    name: str = ""
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in STAGE_KINDS:
+            raise ConfigError(
+                f"unknown stage kind {self.kind!r}; "
+                f"expected one of {', '.join(STAGE_KINDS)}"
+            )
+        set_ = object.__setattr__
+        if not self.name:
+            set_(self, "name", self.kind)
+        if not isinstance(self.params, dict):
+            raise ConfigError(
+                f"stage {self.name!r} params must be a dict, "
+                f"got {type(self.params).__name__}"
+            )
+        allowed = _PARAM_SCHEMA[self.kind]
+        unknown = sorted(set(self.params) - set(allowed))
+        if unknown:
+            raise ConfigError(
+                f"unknown {self.kind} stage parameter(s): "
+                f"{', '.join(unknown)}; known: {', '.join(sorted(allowed))}"
+            )
+        set_(
+            self,
+            "params",
+            {
+                k: _check_param(self.kind, k, v)
+                for k, v in self.params.items()
+            },
+        )
+        if self.kind == "parse":
+            from ..serve.ingest import ON_MALFORMED
+
+            mode = self.params.get("on_malformed", "quarantine")
+            if mode not in ON_MALFORMED:
+                raise ConfigError(
+                    f"parse stage on_malformed {mode!r}; "
+                    f"expected one of {', '.join(ON_MALFORMED)}"
+                )
+        if self.kind == "queue_select":
+            policy = self.params.get("policy", "hash")
+            if policy not in QUEUE_POLICIES:
+                raise ConfigError(
+                    f"queue_select policy {policy!r}; "
+                    f"expected one of {', '.join(QUEUE_POLICIES)}"
+                )
+            if self.params.get("queues", 8) < 1:
+                raise ConfigError("queue_select queues must be >= 1")
+        if self.kind == "flow_cache":
+            entries = self.params.get("entries", 0)
+            ways = self.params.get("ways", 4)
+            if entries and entries % max(ways, 1):
+                raise ConfigError(
+                    f"flow_cache entries ({entries}) must be a multiple "
+                    f"of ways ({ways})"
+                )
+
+    def to_dict(self) -> dict:
+        out: dict = {"kind": self.kind}
+        if self.name != self.kind:
+            out["name"] = self.name
+        if self.params:
+            out["params"] = copy.deepcopy(self.params)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageSpec":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"StageSpec.from_dict expects a dict, "
+                f"got {type(data).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown StageSpec field(s): {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+        if "kind" not in data:
+            raise ConfigError("StageSpec requires a 'kind' field")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class StageGraphSpec:
+    """Declarative, validated, immutable line-card RX pipeline.
+
+    ``stages`` must contain exactly one ``classify`` stage, at most one
+    stage of every other kind, and follow the canonical
+    :data:`STAGE_KINDS` order.  The classify stage's ``engine``
+    parameter is an :class:`~repro.serve.EngineConfig` overlay dict;
+    a ``flow_cache`` stage owns the cache geometry (a classify overlay
+    that also names cache fields is rejected as ambiguous).
+    """
+
+    name: str = "linecard-rx"
+    stages: tuple[StageSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigError(
+                f"name must be a non-empty string, got {self.name!r}"
+            )
+        stages = tuple(
+            s if isinstance(s, StageSpec) else StageSpec.from_dict(s)
+            for s in self.stages
+        )
+        object.__setattr__(self, "stages", stages)
+        if not stages:
+            raise ConfigError("a stage graph needs at least one stage")
+        kinds = [s.kind for s in stages]
+        for kind in set(kinds):
+            if kinds.count(kind) > 1:
+                raise ConfigError(f"duplicate {kind!r} stage in graph")
+        if kinds.count("classify") != 1:
+            raise ConfigError("a stage graph needs exactly one classify stage")
+        order = [STAGE_KINDS.index(k) for k in kinds]
+        if order != sorted(order):
+            raise ConfigError(
+                f"stages out of canonical order: {' -> '.join(kinds)}; "
+                f"expected a subsequence of {' -> '.join(STAGE_KINDS)}"
+            )
+        names = [s.name for s in stages]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate stage names: {names!r}")
+        # Validate the engine overlay (and the cache-ownership rule)
+        # eagerly, so a bad graph file fails at load, not mid-run.
+        self.engine_config()
+
+    # ------------------------------------------------------------------
+    def stage(self, kind: str) -> StageSpec | None:
+        """The graph's stage of ``kind``, or ``None`` when absent."""
+        for s in self.stages:
+            if s.kind == kind:
+                return s
+        return None
+
+    def engine_config(self) -> EngineConfig:
+        """The :class:`~repro.serve.EngineConfig` the classify stage
+        (plus the flow_cache and parse stages, which own the cache
+        geometry and the malformed-line policy) resolves to."""
+        classify = self.stage("classify")
+        assert classify is not None  # __post_init__ guarantees it
+        overlay = classify.params.get("engine", {})
+        cache = self.stage("flow_cache")
+        if cache is not None:
+            clash = sorted(
+                k for k in overlay
+                if k in ("cache_entries", "cache_ways", "cache_max_age")
+            )
+            if clash:
+                raise ConfigError(
+                    f"classify engine overlay names {', '.join(clash)} but "
+                    f"the graph has a flow_cache stage owning the cache "
+                    f"geometry; set it in one place"
+                )
+        merged = {**EngineConfig().to_dict(), **overlay}
+        if cache is not None:
+            merged["cache_entries"] = cache.params.get("entries", 4096)
+            merged["cache_ways"] = cache.params.get("ways", 4)
+            merged["cache_max_age"] = cache.params.get("max_age", 0)
+        parse = self.stage("parse")
+        if parse is not None:
+            merged["on_malformed"] = parse.params.get(
+                "on_malformed", "quarantine"
+            )
+        return EngineConfig.from_dict(merged)
+
+    # -- dict/JSON round-trip --------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "stages": [s.to_dict() for s in self.stages],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageGraphSpec":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"StageGraphSpec.from_dict expects a dict, "
+                f"got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - {"name", "stages"})
+        if unknown:
+            raise ConfigError(
+                f"unknown StageGraphSpec field(s): {', '.join(unknown)}"
+            )
+        stages = data.get("stages", ())
+        if not isinstance(stages, (list, tuple)):
+            raise ConfigError(
+                f"stages must be a list, got {type(stages).__name__}"
+            )
+        return cls(
+            name=data.get("name", "linecard-rx"),
+            stages=tuple(StageSpec.from_dict(s) for s in stages),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "StageGraphSpec":
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(
+                f"cannot load stage graph {path!r}: {exc}"
+            ) from None
+        return cls.from_dict(data)
+
+
+def default_graph(
+    engine: dict | None = None,
+    *,
+    name: str = "linecard-rx",
+    cache_entries: int = 4096,
+    cache_ways: int = 4,
+    queues: int = 8,
+) -> StageGraphSpec:
+    """The full line-card RX pipeline over a given engine overlay.
+
+    This is the graph the sweep ``scenario`` axis and the overhead
+    bench execute: every stage kind, permissive drop predicates (no ACL
+    denies — bit-identity with a bare classify run holds end to end).
+    ``cache_entries=0`` omits the flow_cache stage entirely.
+    """
+    stages = [
+        StageSpec(kind="parse"),
+        StageSpec(kind="drop"),
+        StageSpec(kind="extract"),
+        StageSpec(kind="tcam_prefilter"),
+    ]
+    if cache_entries:
+        stages.append(
+            StageSpec(
+                kind="flow_cache",
+                params={"entries": cache_entries, "ways": cache_ways},
+            )
+        )
+    stages += [
+        StageSpec(kind="classify", params={"engine": dict(engine or {})}),
+        StageSpec(kind="rewrite"),
+        StageSpec(kind="queue_select", params={"queues": queues}),
+    ]
+    return StageGraphSpec(name=name, stages=tuple(stages))

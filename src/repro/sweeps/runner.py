@@ -20,8 +20,14 @@ path, not a bench-only shortcut.  Per cell the runner records:
 Workloads and built backends are shared across cells wherever the cell
 coordinates allow it (same family/size -> same ruleset; same trace
 coordinates -> same trace; static cells share one built backend per
-family/size/backend), so a 72-cell quick grid costs ~18 builds, not 72.
+family/size/backend — the ``linecard`` scenario reuses its bare
+neighbour's build), so a 144-cell quick grid costs ~18 builds, not 144.
 Churn cells always build fresh — live updates mutate the classifier.
+
+``scenario=linecard`` cells route the same workload through the full
+:class:`~repro.stages.StageGraph` RX pipeline instead of a bare
+``Engine.classify`` — same verdicts (the default graph drops nothing),
+same gated metrics, plus the whole-graph energy per packet.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ from ..serve import (
     TenantSpec,
     iter_trace_segments,
 )
+from ..stages import StageGraph, default_graph
 from .spec import SweepCell, SweepSpec, match_filters
 
 #: Schema version of the ``BENCH_sweeps.json`` artifact.
@@ -98,6 +105,7 @@ def _cell_metrics(cell: SweepCell, report, classifier) -> dict:
         "packet_bytes": cell.packet_bytes,
         "churn": cell.churn,
         "tenants": cell.tenants,
+        "scenario": cell.scenario,
         "n_packets": report.n_packets,
         "matched_fraction": round(report.matched_fraction, 4),
         "elapsed_s": round(report.elapsed_s, 4),
@@ -126,6 +134,43 @@ def _cell_metrics(cell: SweepCell, report, classifier) -> dict:
             metrics["update_latency_p50_ms"] = round(pct["p50_ms"], 3)
             metrics["update_latency_p95_ms"] = round(pct["p95_ms"], 3)
             metrics["update_latency_p99_ms"] = round(pct["p99_ms"], 3)
+    return metrics
+
+
+def _run_linecard_cell(
+    cell, ruleset, trace, config, schedule, classifier
+) -> dict:
+    """Execute a ``scenario=linecard`` cell through the full
+    :class:`~repro.stages.StageGraph` RX pipeline.
+
+    The graph is the :func:`~repro.stages.default_graph` — every stage
+    kind with permissive drop predicates, so the classify verdicts stay
+    bit-identical to the cell's bare neighbour and the gated metrics
+    (hit rate, accesses/lookup, energy) remain directly comparable.
+    The scenario adds two warn-free extras: the total packets the
+    non-classify stages dropped (0 for the default graph) and the
+    whole-graph energy per packet, which prices the parse/TCAM/queue
+    stages on top of the classify energy the bare cells report.
+    """
+    overlay = {
+        k: v
+        for k, v in config.to_dict().items()
+        if k not in ("cache_entries", "cache_ways", "cache_max_age")
+    }
+    graph_spec = default_graph(
+        overlay,
+        cache_entries=cell.cache_entries,
+        cache_ways=cell.cache_ways,
+    )
+    with StageGraph(graph_spec, ruleset, classifier=classifier) as graph:
+        report = graph.run(
+            trace, updates=schedule, segment_packets=cell.chunk_size
+        )
+        metrics = _cell_metrics(cell, report, graph.engine.classifier)
+    metrics["stage_drops"] = sum(s.dropped for s in report.stages)
+    metrics["graph_energy_per_packet_j"] = sum(
+        s.energy_j for s in report.stages
+    ) / max(report.n_packets, 1)
     return metrics
 
 
@@ -226,6 +271,10 @@ def run_sweep(
         if cell.tenants > 1:
             metrics = _run_multi_tenant_cell(
                 cell, ruleset, trace, config, schedule
+            )
+        elif cell.scenario == "linecard":
+            metrics = _run_linecard_cell(
+                cell, ruleset, trace, config, schedule, classifier
             )
         else:
             with Engine(config, ruleset, classifier=classifier) as engine:

@@ -16,7 +16,11 @@ work) report family x size x skew grids as their headline evidence.  A
 * ``churn_rates`` — live rule updates per 1000 packets (0 = static);
 * ``tenants`` — how many tenants share the cell's engine through a
   :class:`~repro.serve.MultiTenantEngine` session (1 = the plain
-  single-tenant serving path; see ``docs/engine.md``).
+  single-tenant serving path; see ``docs/engine.md``);
+* ``scenarios`` — the serving surface each cell executes through:
+  ``"bare"`` (a plain :class:`~repro.serve.Engine` session) or
+  ``"linecard"`` (the full :mod:`repro.stages` RX stage graph over the
+  same engine config; see ``docs/linecard.md``).
 
 :meth:`SweepSpec.expand` takes the cross product of every axis and
 yields concrete :class:`SweepCell`\\ s, each of which maps onto exactly
@@ -47,6 +51,9 @@ from ..serve import EngineConfig
 
 #: Named sweep tiers (see :func:`default_spec`).
 TIERS = ("quick", "full", "soak")
+
+#: The serving scenarios the ``scenarios`` axis accepts.
+SCENARIOS = ("bare", "linecard")
 
 
 def _axis(name: str, values, kind, minimum=None) -> tuple:
@@ -92,15 +99,18 @@ class SweepCell:
     chunk_size: int
     seed: int
     tenants: int = 1
+    scenario: str = "bare"
 
     @property
     def cell_id(self) -> str:
         """Stable axis-coordinate key (the ``cells`` key in the
         artifact, and what ``--filter`` selects against).  The tenants
-        coordinate only appears for multi-tenant cells, so grids that
-        never touch the axis keep their historical cell ids (and their
-        committed baselines)."""
+        and scenario coordinates only appear for non-default cells, so
+        grids that never touch those axes keep their historical cell
+        ids (and their committed baselines)."""
         suffix = f"/t{self.tenants}" if self.tenants > 1 else ""
+        if self.scenario != "bare":
+            suffix += f"/{self.scenario}"
         return (
             f"{self.family}/{self.size}/{self.backend}"
             f"/s{self.shards}-{self.shard_mode}"
@@ -167,6 +177,7 @@ class SweepSpec:
     packet_bytes: tuple[int, ...] = (40,)
     churn_rates: tuple[int, ...] = (0,)
     tenants: tuple[int, ...] = (1,)
+    scenarios: tuple[str, ...] = ("bare",)
     packets: int = 20_000
     flows: int = 1024
     chunk_size: int = 4096
@@ -199,6 +210,19 @@ class SweepSpec:
             _axis("churn_rates", self.churn_rates, int, minimum=0),
         )
         set_(self, "tenants", _axis("tenants", self.tenants, int, minimum=1))
+        set_(self, "scenarios", _axis("scenarios", self.scenarios, str))
+        for scenario in self.scenarios:
+            if scenario not in SCENARIOS:
+                raise ConfigError(
+                    f"unknown scenario {scenario!r}; "
+                    f"expected one of {', '.join(SCENARIOS)}"
+                )
+        if "linecard" in self.scenarios and any(t > 1 for t in self.tenants):
+            raise ConfigError(
+                "the linecard scenario serves a single tenant; drop the "
+                "multi-tenant values from the tenants axis or the "
+                "linecard value from scenarios"
+            )
         for family in self.families:
             if family not in FAMILIES:
                 raise ConfigError(
@@ -285,6 +309,7 @@ class SweepSpec:
             * len(self.packet_bytes)
             * len(self.churn_rates)
             * len(self.tenants)
+            * len(self.scenarios)
         )
 
     def expand(self) -> list[SweepCell]:
@@ -300,20 +325,22 @@ class SweepSpec:
                                     for pkt in self.packet_bytes:
                                         for churn in self.churn_rates:
                                             for n_ten in self.tenants:
-                                                cells.append(
-                                                    self._cell(
-                                                        family, size,
-                                                        backend, shards,
-                                                        mode, entries,
-                                                        skew, pkt, churn,
-                                                        n_ten,
+                                                for scn in self.scenarios:
+                                                    cells.append(
+                                                        self._cell(
+                                                            family, size,
+                                                            backend, shards,
+                                                            mode, entries,
+                                                            skew, pkt,
+                                                            churn, n_ten,
+                                                            scn,
+                                                        )
                                                     )
-                                                )
         return cells
 
     def _cell(
         self, family, size, backend, shards, mode, entries, skew, pkt, churn,
-        n_tenants=1,
+        n_tenants=1, scenario="bare",
     ) -> SweepCell:
         return SweepCell(
             family=family,
@@ -331,6 +358,7 @@ class SweepSpec:
             chunk_size=self.chunk_size,
             seed=self.seed,
             tenants=n_tenants,
+            scenario=scenario,
         )
 
     # -- tiers -----------------------------------------------------------
@@ -367,7 +395,10 @@ def default_spec(tier: str = "quick") -> SweepSpec:
         static grid can see.
     """
     if tier == "quick":
-        return SweepSpec(name="paper-grid-quick")
+        return SweepSpec(
+            name="paper-grid-quick",
+            scenarios=("bare", "linecard"),
+        )
     if tier == "full":
         return SweepSpec(
             name="paper-grid-full",
@@ -404,6 +435,7 @@ def parse_filters(pairs: list[str]) -> dict[str, set[str]]:
     allowed = {
         "family", "size", "backend", "shards", "shard_mode",
         "cache_entries", "skew", "packet_bytes", "churn", "tenants",
+        "scenario",
     }
     out: dict[str, set[str]] = {}
     for pair in pairs or []:

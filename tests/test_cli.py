@@ -154,3 +154,73 @@ class TestArgErrors:
     def test_unknown_family(self):
         with pytest.raises(SystemExit):
             main(["build", "--family", "nope"])
+
+
+class TestLinecard:
+    def test_default_run_prints_stage_table(self, capsys):
+        rc = main([
+            "linecard", "--family", "acl1", "--rules", "120",
+            "--packets", "500", "--seed", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "8 stages" in out
+        for name in ("parse", "tcam_prefilter", "flow_cache",
+                     "classify", "queue_select"):
+            assert name in out
+        assert "flow cache hit rate" in out
+
+    def test_emit_graph_round_trips(self, tmp_path, capsys):
+        from repro.stages import StageGraphSpec
+
+        path = str(tmp_path / "graph.json")
+        rc = main(["linecard", "--emit-graph", path,
+                   "--algorithm", "hicuts", "--cache-entries", "1024"])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        spec = StageGraphSpec.load(path)
+        kinds = [s.kind for s in spec.stages]
+        assert kinds.count("classify") == 1
+        assert "flow_cache" in kinds
+        classify = next(s for s in spec.stages if s.kind == "classify")
+        assert classify.params["engine"]["backend"] == "hicuts"
+
+    def test_graph_flag_runs_saved_spec(self, tmp_path, capsys):
+        path = str(tmp_path / "graph.json")
+        main(["linecard", "--emit-graph", path])
+        rc = main([
+            "linecard", "--graph", path, "--family", "acl1",
+            "--rules", "120", "--packets", "500", "--seed", "3",
+        ])
+        assert rc == 0
+        assert "packets" in capsys.readouterr().out
+
+    def test_trace_lines_reports_quarantine(self, tmp_path, capsys):
+        lines = tmp_path / "trace.txt"
+        lines.write_text(
+            "# comment\n"
+            "1 2 3 4 5\n"
+            "oops not numbers\n"
+            "6 7 8 9 10\n"
+        )
+        rc = main([
+            "linecard", "--family", "acl1", "--rules", "80",
+            "--seed", "3", "--trace-lines", str(lines),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "quarantined: 1 malformed trace lines" in out
+
+    def test_output_json_carries_stage_telemetry(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "report.json"
+        rc = main([
+            "linecard", "--family", "acl1", "--rules", "120",
+            "--packets", "500", "--seed", "3", "-o", str(out_path),
+        ])
+        assert rc == 0
+        doc = json.loads(out_path.read_text())
+        assert "stages" in doc
+        assert [s["kind"] for s in doc["stages"]].count("classify") == 1
+        assert all("energy_j" in s for s in doc["stages"])

@@ -82,6 +82,9 @@ class TestGatedMetrics:
     def test_multi_tenant_aggregate_is_gated(self):
         assert "multi_tenant.aggregate_ratio" in compare_baseline.GATED_METRICS
 
+    def test_stage_graph_overhead_is_gated(self):
+        assert "stage_graph.overhead_ratio" in compare_baseline.GATED_METRICS
+
     def test_gated_regression_fails(self):
         baseline = {"fused_lookup": {"speedup": 2.0}}
         current = {"fused_lookup": {"speedup": 1.0}}

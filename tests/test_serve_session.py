@@ -441,3 +441,96 @@ class TestIterTraceFile:
         path.write_text("1\t2\t3\t4\t5\t-1\n1\t2\tbroken\n")
         with pytest.raises(PacketFormatError):
             list(iter_trace_file(str(path), segment_packets=10))
+
+
+# ---------------------------------------------------------------------------
+# QuarantineLog edge cases (the dead-letter side of on_malformed)
+# ---------------------------------------------------------------------------
+class TestQuarantineLog:
+    def test_bounded_overflow_keeps_counting(self):
+        from repro.serve.ingest import QuarantineLog
+
+        log = QuarantineLog(max_entries=2)
+        for lineno in range(1, 6):
+            log.record(lineno, f"bad line {lineno}", "non-numeric")
+        assert log.count == 5
+        assert len(log.entries) == 2  # first two retained, rest counted
+        assert log.dropped == 3
+        assert [e[0] for e in log.entries] == [1, 2]
+        out = log.to_dict()
+        assert out["count"] == 5 and out["dropped"] == 3
+        assert len(out["entries"]) == 2
+
+    def test_zero_capacity_counts_only(self):
+        from repro.serve.ingest import QuarantineLog
+
+        log = QuarantineLog(max_entries=0)
+        log.record(7, "x", "negative header field")
+        assert log.count == 1 and log.entries == [] and log.dropped == 1
+        assert bool(log)
+
+    def test_negative_capacity_rejected(self):
+        from repro.serve.ingest import QuarantineLog
+
+        with pytest.raises(ConfigError, match="max_entries"):
+            QuarantineLog(max_entries=-1)
+
+    def test_clear_resets_counts(self):
+        from repro.serve.ingest import QuarantineLog
+
+        log = QuarantineLog()
+        log.record(1, "x", "r")
+        log.clear()
+        assert log.count == 0 and not log.entries and not bool(log)
+
+    def test_salvage_records_every_reason(self, tmp_path):
+        from repro.serve.ingest import QuarantineLog
+
+        path = tmp_path / "trace.txt"
+        path.write_text(
+            "1 2 3 4 5\n"            # good
+            "1 2 3\n"                 # too few columns
+            "1 2 three 4 5\n"         # non-numeric
+            "1 2 -3 4 5\n"            # negative
+            "1 2 3 4 99999999999\n"   # out of 32-bit range
+            "6 7 8 9 1\n"             # good
+        )
+        log = QuarantineLog()
+        segs = list(
+            iter_trace_file(
+                str(path), segment_packets=10,
+                on_malformed="quarantine", quarantine=log,
+            )
+        )
+        assert sum(s.n_packets for s in segs) == 2
+        assert log.count == 4
+        reasons = [r for _, _, r in log.entries]
+        assert "expected >= 5 columns, got 3" in reasons
+        assert "non-numeric header field" in reasons
+        assert "negative header field" in reasons
+        assert "header field out of 32-bit range" in reasons
+        # Absolute 1-based line numbers of the bad lines, in order.
+        assert [e[0] for e in log.entries] == [2, 3, 4, 5]
+
+    def test_quarantined_count_reaches_report_to_dict(
+        self, tmp_path, acl_small, acl_small_trace
+    ):
+        path = str(tmp_path / "trace.txt")
+        acl_small_trace.save(path)
+        with open(path, "a", encoding="ascii") as fh:
+            fh.write("totally broken\n1 2 3\n")
+        config = EngineConfig(
+            backend="tuple_space", on_malformed="quarantine"
+        )
+        with Engine.open(config, acl_small) as engine:
+            report = engine.classify_stream(
+                iter_trace_file(
+                    path, segment_packets=512,
+                    on_malformed="quarantine",
+                    quarantine=engine.quarantine,
+                )
+            )
+        assert report.n_packets == acl_small_trace.n_packets
+        assert engine.quarantine.count == 2
+        out = report.to_dict()
+        assert out["fault"]["quarantined"] == 2

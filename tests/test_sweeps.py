@@ -355,3 +355,74 @@ class TestEndToEnd:
         assert "acl1" in text
         assert "| 60 |" in text and "| 120 |" in text
         assert "OC-48" in text
+
+
+class TestScenarioAxis:
+    def test_quick_tier_carries_both_scenarios(self):
+        cells = default_spec("quick").expand()
+        by_scn: dict[str, int] = {}
+        for c in cells:
+            by_scn[c.scenario] = by_scn.get(c.scenario, 0) + 1
+        assert set(by_scn) == {"bare", "linecard"}
+        assert by_scn["bare"] == by_scn["linecard"] == len(cells) // 2
+
+    def test_bare_cell_ids_are_suffix_free_and_stable(self):
+        """Adding the scenario axis must not rename the committed bare
+        cells (the sweeps baseline keys on cell_id)."""
+        cells = default_spec("quick").expand()
+        for c in cells:
+            if c.scenario == "bare":
+                assert "linecard" not in c.cell_id
+            else:
+                assert c.cell_id.endswith("/linecard")
+                twin = c.cell_id.rsplit("/linecard", 1)[0]
+                assert twin in {
+                    x.cell_id for x in cells if x.scenario == "bare"
+                }
+
+    def test_full_and_soak_tiers_stay_bare_only(self):
+        for tier in ("full", "soak"):
+            assert default_spec(tier).scenarios == ("bare",)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            _tiny_spec(scenarios=("turbo",))
+
+    def test_linecard_with_multi_tenant_rejected(self):
+        with pytest.raises(ConfigError, match="single tenant"):
+            _tiny_spec(scenarios=("bare", "linecard"), tenants=(1, 2))
+
+    def test_scenario_filter_selects(self):
+        spec = _tiny_spec(scenarios=("bare", "linecard"))
+        filters = parse_filters(["scenario=linecard"])
+        kept = [c for c in spec.expand() if match_filters(c, filters)]
+        assert kept and all(c.scenario == "linecard" for c in kept)
+
+    def test_workload_seeds_shared_across_scenarios(self):
+        cells = _tiny_spec(scenarios=("bare", "linecard")).expand()
+        by_workload: dict[str, set[tuple[int, int]]] = {}
+        for c in cells:
+            key = c.cell_id.rsplit("/linecard", 1)[0]
+            by_workload.setdefault(key, set()).add(
+                (c.ruleset_seed, c.trace_seed)
+            )
+        assert all(len(s) == 1 for s in by_workload.values())
+
+
+@pytest.mark.sweep
+class TestLinecardScenarioEndToEnd:
+    def test_linecard_cells_match_bare_neighbours(self):
+        spec = _tiny_spec(scenarios=("bare", "linecard"))
+        cells = run_sweep(spec).to_dict()["cells"]
+        linecard = {k: v for k, v in cells.items() if k.endswith("/linecard")}
+        assert len(linecard) == len(cells) // 2
+        for cid, m in linecard.items():
+            bare = cells[cid.rsplit("/linecard", 1)[0]]
+            # The default graph drops nothing, so the classify verdicts
+            # (and the gated matched_fraction) are bit-identical.
+            assert m["stage_drops"] == 0
+            assert m["matched_fraction"] == bare["matched_fraction"]
+            assert m["scenario"] == "linecard"
+            # The whole-graph energy prices every stage, so it strictly
+            # exceeds the classify-only figure the bare cell reports.
+            assert m["graph_energy_per_packet_j"] > m["energy_per_packet_j"]
